@@ -1,0 +1,268 @@
+package flywheel
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation, plus ablation benches for the design knobs
+// DESIGN.md calls out. Each benchmark regenerates its experiment at a
+// reduced instruction budget and reports the headline numbers through
+// b.ReportMetric, so `go test -bench . -benchmem` doubles as a smoke-test
+// of the whole reproduction pipeline.
+//
+// For full-budget tables, use cmd/experiments.
+
+import (
+	"fmt"
+	"testing"
+
+	"flywheel/internal/cacti"
+	"flywheel/internal/core"
+	"flywheel/internal/emu"
+	"flywheel/internal/experiments"
+	"flywheel/internal/sim"
+	"flywheel/internal/stats"
+	"flywheel/internal/workload"
+)
+
+// benchBudget keeps the per-run instruction count small enough that the
+// whole harness finishes in a few minutes.
+const benchBudget = 40_000
+
+func benchOptions() experiments.Options {
+	return experiments.Options{Instructions: benchBudget, Node: cacti.Node130}
+}
+
+// BenchmarkFigure1 regenerates the latency-scaling curves (analytic).
+func BenchmarkFigure1(b *testing.B) {
+	var last *stats.Table
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure1()
+	}
+	iw := cacti.IssueWindowLatency(128, 6, cacti.Node60)
+	cache := cacti.CacheLatency(64<<10, 2, 1, cacti.Node60)
+	b.ReportMetric(cache/iw, "cache/IW-latency-at-60nm")
+	_ = last
+}
+
+// BenchmarkTable1 regenerates the module-frequency table and reports the
+// worst-case deviation from the paper's published values.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table1()
+	}
+	worst := 0.0
+	for node, paper := range cacti.PaperTable1 {
+		model := cacti.Table1(node)
+		for _, pair := range [][2]float64{
+			{model.IssueWindow, paper.IssueWindow},
+			{model.ICache, paper.ICache},
+			{model.DCache, paper.DCache},
+			{model.RegFile, paper.RegFile},
+			{model.ExecutionCache, paper.ExecutionCache},
+			{model.FlywheelRegFile, paper.FlywheelRegFile},
+		} {
+			err := pair[0]/pair[1] - 1
+			if err < 0 {
+				err = -err
+			}
+			if err > worst {
+				worst = err
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "worst-error-%")
+}
+
+// BenchmarkFigure2 measures the pipelining-sensitivity study.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAverages(b, tbl, "fe-stage-loss-%", "wakeup-select-loss-%")
+	}
+}
+
+// BenchmarkFigure11 measures the equal-clock comparison.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure11(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAverages(b, tbl, "regalloc-normperf", "flywheel-normperf")
+	}
+}
+
+// sweepOnce runs the shared Figure 12-14 measurement.
+func sweepOnce(b *testing.B) *experiments.SweepData {
+	b.Helper()
+	d, err := experiments.Sweep(benchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkFigure12 measures the performance sweep (FE x BE+50%).
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := sweepOnce(b)
+		tbl := d.Figure12()
+		reportAverages(b, tbl, "normperf-FE0", "normperf-FE25", "normperf-FE50",
+			"normperf-FE75", "normperf-FE100")
+	}
+}
+
+// BenchmarkFigure13 measures the energy sweep.
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := sweepOnce(b)
+		tbl := d.Figure13()
+		reportAverages(b, tbl, "normenergy-FE0", "normenergy-FE25",
+			"normenergy-FE50", "normenergy-FE75", "normenergy-FE100")
+	}
+}
+
+// BenchmarkFigure14 measures the power sweep.
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := sweepOnce(b)
+		tbl := d.Figure14()
+		reportAverages(b, tbl, "normpower-FE0", "normpower-FE25",
+			"normpower-FE50", "normpower-FE75", "normpower-FE100")
+	}
+}
+
+// BenchmarkFigure15 measures the energy-vs-node study.
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure15(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAverages(b, tbl, "normenergy-130nm", "normenergy-90nm", "normenergy-60nm")
+	}
+}
+
+// reportAverages pulls the trailing "average" row of an experiment table
+// into benchmark metrics.
+func reportAverages(b *testing.B, tbl *stats.Table, names ...string) {
+	b.Helper()
+	if len(tbl.Rows) == 0 {
+		b.Fatal("empty experiment table")
+	}
+	avg := tbl.Rows[len(tbl.Rows)-1]
+	for i, name := range names {
+		if i+1 >= len(avg) || avg[i+1] == "" {
+			continue
+		}
+		var v float64
+		if _, err := fmtSscan(avg[i+1], &v); err == nil {
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+// --- Ablation benches: the design choices DESIGN.md calls out ---
+
+// ablationRun measures one Flywheel configuration on one benchmark and
+// returns execution time in picoseconds.
+func ablationRun(b *testing.B, bench string, mutate func(*core.Config)) float64 {
+	b.Helper()
+	w := workload.MustGet(bench)
+	m, err := w.NewMachine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := emu.NewStream(m, m.Retired+benchBudget)
+	cfg := core.DefaultConfig()
+	cfg.BasePeriodPS = cacti.BaselinePeriodPS(cacti.Node130)
+	cfg.FEBoostPct, cfg.BEBoostPct = 50, 50
+	cfg.MaxCycles = 100_000_000
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c := core.New(cfg, stream)
+	st, err := c.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(st.TimePS)
+}
+
+// BenchmarkAblationSyncLatency quantifies the dual-clock synchronization
+// delay (§3.2): the cost of the mixed-clock interface vs an ideal one.
+func BenchmarkAblationSyncLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ideal := ablationRun(b, "gzip", func(c *core.Config) { c.SyncCycles = 0 })
+		deflt := ablationRun(b, "gzip", nil)
+		deep := ablationRun(b, "gzip", func(c *core.Config) { c.SyncCycles = 3 })
+		b.ReportMetric(deflt/ideal, "sync1-vs-ideal")
+		b.ReportMetric(deep/ideal, "sync3-vs-ideal")
+	}
+}
+
+// BenchmarkAblationECReadLatency quantifies the Execution Cache access
+// latency the fill buffer must hide (§3.3).
+func BenchmarkAblationECReadLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fast := ablationRun(b, "ijpeg", func(c *core.Config) { c.EC.ReadCycles = 1 })
+		deflt := ablationRun(b, "ijpeg", nil)
+		slow := ablationRun(b, "ijpeg", func(c *core.Config) { c.EC.ReadCycles = 6 })
+		b.ReportMetric(deflt/fast, "3cyc-vs-1cyc")
+		b.ReportMetric(slow/fast, "6cyc-vs-1cyc")
+	}
+}
+
+// BenchmarkAblationBlockSize quantifies the eight-instruction block choice
+// (§3.3: smaller blocks store better, very small blocks hurt performance).
+func BenchmarkAblationBlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := ablationRun(b, "mesa", func(c *core.Config) { c.EC.BlockSlots = 4 })
+		deflt := ablationRun(b, "mesa", nil)
+		big := ablationRun(b, "mesa", func(c *core.Config) { c.EC.BlockSlots = 16 })
+		b.ReportMetric(small/deflt, "4slot-vs-8slot")
+		b.ReportMetric(big/deflt, "16slot-vs-8slot")
+	}
+}
+
+// BenchmarkAblationRenamePools quantifies the per-register pool capacity
+// (§3.4-3.5: the capacity limitation behind Figure 11's drops).
+func BenchmarkAblationRenamePools(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tiny := ablationRun(b, "gzip", func(c *core.Config) {
+			c.Pools = core.PoolConfig{TotalRegs: 256, MinPool: 2, MaxPool: 8}
+		})
+		deflt := ablationRun(b, "gzip", nil)
+		huge := ablationRun(b, "gzip", func(c *core.Config) {
+			c.Pools = core.PoolConfig{TotalRegs: 1024, MinPool: 4, MaxPool: 32}
+		})
+		b.ReportMetric(tiny/deflt, "256regs-vs-512")
+		b.ReportMetric(huge/deflt, "1024regs-vs-512")
+	}
+}
+
+// BenchmarkSimulatorThroughput reports raw simulation speed (simulated
+// instructions per wall-clock second) for both cores.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	run := func(b *testing.B, arch sim.Arch) {
+		b.Helper()
+		total := 0.0
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.RunConfig{
+				Workload: "ijpeg", Arch: arch, Node: cacti.Node130,
+				FEBoostPct: 50, BEBoostPct: 50, MaxInstructions: benchBudget,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += float64(res.Retired)
+		}
+		b.ReportMetric(total/b.Elapsed().Seconds(), "sim-inst/s")
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, sim.ArchBaseline) })
+	b.Run("flywheel", func(b *testing.B) { run(b, sim.ArchFlywheel) })
+}
+
+// fmtSscan wraps fmt.Sscan for the table-metric extraction above.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }

@@ -1,0 +1,73 @@
+// Command asmrun assembles a program for the flywheel ISA and executes it
+// on the functional emulator, printing the final architectural state — a
+// quick way to develop new workload kernels.
+//
+//	asmrun prog.s
+//	asmrun -limit 1000000 -regs prog.s
+//	asmrun -disasm prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/emu"
+	"flywheel/internal/isa"
+)
+
+func main() {
+	var (
+		limit  = flag.Uint64("limit", 100_000_000, "maximum executed instructions")
+		regs   = flag.Bool("regs", false, "dump all non-zero registers at exit")
+		disasm = flag.Bool("disasm", false, "print the disassembly instead of running")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asmrun [flags] prog.s")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		for i, in := range prog.Code {
+			fmt.Printf("%#06x:  %s\n", asm.CodeBase+uint64(i*isa.InstBytes), in)
+		}
+		return
+	}
+	m := emu.New(prog)
+	n, err := m.Run(*limit)
+	if err != nil {
+		fatal(err)
+	}
+	status := "halted"
+	if !m.Halted {
+		status = "instruction limit reached"
+	}
+	fmt.Printf("%s: %s after %d instructions (pc=%#x)\n", path, status, n, m.PC)
+	if *regs {
+		for i, v := range m.IntRegs {
+			if v != 0 {
+				fmt.Printf("  r%-2d = %d (%#x)\n", i, int64(v), v)
+			}
+		}
+		for i, v := range m.FPRegs {
+			if v != 0 {
+				fmt.Printf("  f%-2d = %g\n", i, v)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asmrun:", err)
+	os.Exit(1)
+}

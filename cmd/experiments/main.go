@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	experiments -fig 1             # Figure 1 (latency scaling, analytic)
+//	experiments -fig t1            # Table 1 (module frequencies)
+//	experiments -fig 12 -n 500000  # Figure 12 (performance sweep)
+//	experiments -fig all -md       # everything, as markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flywheel/internal/cacti"
+	"flywheel/internal/experiments"
+	"flywheel/internal/stats"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "experiment: 1, 2, t1, t2, 11, 12, 13, 14, 15, residency or all")
+		n        = flag.Uint64("n", 300_000, "measured dynamic instructions per run")
+		node     = flag.Float64("node", 0.13, "technology node in um for figures 2 and 11-14")
+		markdown = flag.Bool("md", false, "emit markdown tables")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Instructions: *n, Node: cacti.Node(*node)}
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	emit := func(t *stats.Table) {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	if all || want["1"] {
+		emit(experiments.Figure1())
+	}
+	if all || want["t1"] {
+		emit(experiments.Table1())
+	}
+	if all || want["t2"] {
+		emit(experiments.Table2())
+	}
+	if all || want["2"] {
+		t, err := experiments.Figure2(opt)
+		check(err)
+		emit(t)
+	}
+	if all || want["11"] {
+		t, err := experiments.Figure11(opt)
+		check(err)
+		emit(t)
+	}
+	if all || want["12"] || want["13"] || want["14"] || want["residency"] {
+		d, err := experiments.Sweep(opt)
+		check(err)
+		if all || want["12"] {
+			emit(d.Figure12())
+		}
+		if all || want["13"] {
+			emit(d.Figure13())
+		}
+		if all || want["14"] {
+			emit(d.Figure14())
+		}
+		if all || want["residency"] {
+			emit(d.Residency())
+		}
+	}
+	if all || want["15"] {
+		t, err := experiments.Figure15(opt)
+		check(err)
+		emit(t)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

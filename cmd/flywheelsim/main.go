@@ -1,0 +1,111 @@
+// Command flywheelsim runs one benchmark on one machine configuration and
+// prints the detailed results: timing, trace behaviour, cache and predictor
+// statistics, and the energy model's verdict.
+//
+// Examples:
+//
+//	flywheelsim -bench gcc -arch flywheel -fe 50 -be 50 -node 0.13 -n 500000
+//	flywheelsim -bench all -arch baseline -n 200000
+//	flywheelsim -compare -bench vortex -fe 100 -be 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flywheel/internal/cacti"
+	"flywheel/internal/sim"
+	"flywheel/internal/stats"
+	"flywheel/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "all", "benchmark name or 'all'")
+		arch    = flag.String("arch", "flywheel", "baseline | flywheel | regalloc")
+		fe      = flag.Int("fe", 0, "front-end clock boost percent (0..100)")
+		be      = flag.Int("be", 0, "back-end trace-execution clock boost percent (0..50)")
+		node    = flag.Float64("node", 0.13, "technology node in um (0.18, 0.13, 0.09, 0.06)")
+		n       = flag.Uint64("n", 500_000, "measured dynamic instructions (0 = to completion)")
+		compare = flag.Bool("compare", false, "also run the baseline and print relative numbers")
+	)
+	flag.Parse()
+
+	archv, err := parseArch(*arch)
+	if err != nil {
+		fatal(err)
+	}
+	names := []string{*bench}
+	if *bench == "all" {
+		names = workload.Names()
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("%s @ %.2fum, FE+%d%% BE+%d%%, %d instructions", *arch, *node, *fe, *be, *n),
+		"bench", "time(us)", "IPC", "EC-resid", "mispred", "diverge", "energy(uJ)", "power(W)")
+	var compTbl *stats.Table
+	if *compare {
+		compTbl = stats.NewTable("relative to baseline at the same node",
+			"bench", "speedup", "energy-ratio", "power-ratio")
+	}
+
+	for _, name := range names {
+		cfg := sim.RunConfig{
+			Workload:        name,
+			Arch:            archv,
+			Node:            cacti.Node(*node),
+			FEBoostPct:      *fe,
+			BEBoostPct:      *be,
+			MaxInstructions: *n,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tbl.Add(name,
+			stats.F(float64(res.TimePS)/1e6, 1),
+			stats.F(res.IPC, 2),
+			stats.Pct(res.ECResidency),
+			fmt.Sprint(res.Mispredicts),
+			fmt.Sprint(res.Divergences),
+			stats.F(res.EnergyPJ/1e6, 1),
+			stats.F(res.PowerW, 2),
+		)
+		if *compare {
+			bcfg := cfg
+			bcfg.Arch = sim.ArchBaseline
+			base, err := sim.Run(bcfg)
+			if err != nil {
+				fatal(err)
+			}
+			compTbl.Add(name,
+				stats.F(res.Speedup(base), 3),
+				stats.F(res.EnergyPJ/base.EnergyPJ, 3),
+				stats.F(res.PowerW/base.PowerW, 3),
+			)
+		}
+	}
+	fmt.Println(tbl.String())
+	if compTbl != nil {
+		fmt.Println(compTbl.String())
+	}
+}
+
+func parseArch(s string) (sim.Arch, error) {
+	switch s {
+	case "baseline":
+		return sim.ArchBaseline, nil
+	case "flywheel":
+		return sim.ArchFlywheel, nil
+	case "regalloc":
+		return sim.ArchRegAlloc, nil
+	default:
+		return 0, fmt.Errorf("unknown architecture %q (want baseline, flywheel or regalloc)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flywheelsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Clockscaling: the paper's Figure 12 experiment in miniature. Sweep the
+// front-end clock boost with the execution core fixed at +50% and watch the
+// normalized performance of a few benchmarks (the full ten-benchmark sweep
+// lives in cmd/experiments -fig 12).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flywheel"
+)
+
+func main() {
+	benchmarks := []string{"ijpeg", "vpr", "vortex"}
+	boosts := []int{0, 25, 50, 75, 100}
+
+	fmt.Printf("normalized performance vs fully synchronous baseline (BE +50%%)\n\n")
+	fmt.Printf("%-8s", "bench")
+	for _, fe := range boosts {
+		fmt.Printf("  FE+%-4d", fe)
+	}
+	fmt.Println()
+
+	for _, b := range benchmarks {
+		base, err := flywheel.Run(flywheel.Config{
+			Benchmark: b, Arch: flywheel.ArchBaseline, Instructions: 120_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s", b)
+		for _, fe := range boosts {
+			fly, err := flywheel.Run(flywheel.Config{
+				Benchmark:    b,
+				Arch:         flywheel.ArchFlywheel,
+				FEBoostPct:   fe,
+				BEBoostPct:   50,
+				Instructions: 120_000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-6.3f", fly.Speedup(base))
+		}
+		fmt.Println()
+	}
+}

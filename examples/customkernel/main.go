@@ -1,0 +1,57 @@
+// Customkernel: write your own assembly kernel and run it on both machines.
+// The toy kernel below is a polynomial evaluation loop — predictable
+// control, a serial multiply-add chain, and a little memory traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flywheel"
+)
+
+const kernel = `
+; Horner evaluation of a degree-7 polynomial at 4096 points.
+	la  r1, coeffs
+	li  r2, 4096          ; points
+	li  r3, 3             ; x starts at 3, steps by 5
+	la  r10, out
+main:
+	li  r4, 0             ; accumulator
+	li  r5, 8             ; coefficient count
+	mv  r6, r1
+horner:
+	ld  r7, 0(r6)
+	mul r4, r4, r3
+	add r4, r4, r7
+	addi r6, r6, 8
+	addi r5, r5, -1
+	bnez r5, horner
+	sd  r4, 0(r10)
+	addi r10, r10, 8
+	addi r3, r3, 5
+	addi r2, r2, -1
+	bnez r2, main
+	halt
+.data
+coeffs:
+	.word 7, -3, 11, 2, -9, 5, 1, 13
+out:
+	.space 32768
+`
+
+func main() {
+	for _, arch := range []flywheel.Arch{flywheel.ArchBaseline, flywheel.ArchFlywheel} {
+		res, err := flywheel.RunAssembly("horner.s", kernel, flywheel.Config{
+			Arch:            arch,
+			FEBoostPct:      50,
+			BEBoostPct:      50,
+			RunToCompletion: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s time=%8.1f us  IPC=%.2f  energy=%7.1f uJ  EC residency=%.1f%%\n",
+			arch, float64(res.TimePS)/1e6, res.IPC, res.EnergyPJ/1e6, res.ECResidency*100)
+	}
+}

@@ -1,0 +1,39 @@
+// Energynodes: the paper's Figure 15 experiment in miniature. As feature
+// sizes shrink, leakage grows relative to dynamic power and the Flywheel's
+// energy advantage narrows — its Execution Cache and larger register file
+// leak regardless of how much front-end switching they save.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flywheel"
+)
+
+func main() {
+	nodes := []flywheel.Node{flywheel.Node130, flywheel.Node90, flywheel.Node60}
+	bench := "equake"
+
+	fmt.Printf("%s at (FE+100%%, BE+50%%): energy vs same-node baseline\n\n", bench)
+	fmt.Printf("%-8s %14s %14s %14s %14s\n",
+		"node", "base energy", "fly energy", "ratio", "fly leakage")
+	for _, n := range nodes {
+		base, err := flywheel.Run(flywheel.Config{
+			Benchmark: bench, Arch: flywheel.ArchBaseline, Node: n, Instructions: 150_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fly, err := flywheel.Run(flywheel.Config{
+			Benchmark: bench, Arch: flywheel.ArchFlywheel, Node: n,
+			FEBoostPct: 100, BEBoostPct: 50, Instructions: 150_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.2f %11.1f uJ %11.1f uJ %14.3f %13.1f%%\n",
+			float64(n), base.EnergyPJ/1e6, fly.EnergyPJ/1e6,
+			fly.EnergyPJ/base.EnergyPJ, fly.LeakageFrac*100)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: run one benchmark on the baseline machine and on the Flywheel
+// machine with the paper's headline clock plan (front-end +50%, back-end
+// +50% in trace-execution mode), and print the comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flywheel"
+)
+
+func main() {
+	cfg := flywheel.Config{
+		Benchmark:    "vpr",
+		Arch:         flywheel.ArchFlywheel,
+		Node:         flywheel.Node130,
+		FEBoostPct:   50,
+		BEBoostPct:   50,
+		Instructions: 200_000,
+	}
+	fly, base, err := flywheel.Compare(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	info, _ := flywheel.Describe(cfg.Benchmark)
+	fmt.Printf("benchmark: %s (%s)\n%s\n\n", info.Name, info.Suite, info.Description)
+
+	fmt.Printf("%-22s %15s %15s\n", "", "baseline", "flywheel")
+	row := func(name, a, b string) { fmt.Printf("%-22s %15s %15s\n", name, a, b) }
+	row("time", us(base.TimePS), us(fly.TimePS))
+	row("energy", uj(base.EnergyPJ), uj(fly.EnergyPJ))
+	row("avg power", fmt.Sprintf("%.2f W", base.PowerW), fmt.Sprintf("%.2f W", fly.PowerW))
+	row("branch accuracy", pct(base.BranchAccuracy), pct(fly.BranchAccuracy))
+	row("EC residency", "-", pct(fly.ECResidency))
+	fmt.Println()
+	fmt.Printf("speedup:       %.2fx\n", fly.Speedup(base))
+	fmt.Printf("energy ratio:  %.2f\n", fly.EnergyPJ/base.EnergyPJ)
+	fmt.Printf("power ratio:   %.2f\n", fly.PowerW/base.PowerW)
+}
+
+func us(ps int64) string      { return fmt.Sprintf("%.1f us", float64(ps)/1e6) }
+func uj(pj float64) string    { return fmt.Sprintf("%.1f uJ", pj/1e6) }
+func pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }

@@ -1,0 +1,271 @@
+// Package flywheel is a from-scratch Go reproduction of "Increased
+// Scalability and Power Efficiency by Using Multiple Speed Pipelines"
+// (Talpes & Marculescu, ISCA 2005): the Flywheel microarchitecture, in
+// which a dual-clock issue window decouples the pipeline front-end into its
+// own faster clock domain and an Execution Cache replays pre-scheduled
+// issue units so the execution core can run at a higher frequency with the
+// front-end and scheduler clock-gated.
+//
+// The package exposes the complete evaluation stack: a cycle-level
+// simulator of the baseline superscalar out-of-order machine and of the
+// Flywheel machine, the CACTI-style technology model that sets per-module
+// clock frequencies, a Wattch-style energy model, the ten benchmark-proxy
+// workloads, and runners for every table and figure in the paper.
+//
+// Quick start:
+//
+//	res, err := flywheel.Run(flywheel.Config{
+//	    Benchmark:  "gcc",
+//	    Arch:       flywheel.ArchFlywheel,
+//	    FEBoostPct: 50,
+//	    BEBoostPct: 50,
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package flywheel
+
+import (
+	"fmt"
+
+	"flywheel/internal/cacti"
+	"flywheel/internal/sim"
+	"flywheel/internal/workload"
+)
+
+// Arch selects the simulated machine.
+type Arch int
+
+// Machine architectures.
+const (
+	// ArchBaseline is the paper's fully synchronous four-way superscalar
+	// out-of-order processor (Table 2).
+	ArchBaseline Arch = iota
+	// ArchFlywheel is the full proposal: dual-clock issue window,
+	// execution cache and two-phase renaming.
+	ArchFlywheel
+	// ArchRegAlloc is the intermediate configuration of Figure 11: the
+	// dual-clock issue window and new register allocation without the
+	// execution cache.
+	ArchRegAlloc
+)
+
+// String names the architecture.
+func (a Arch) String() string { return a.internal().String() }
+
+func (a Arch) internal() sim.Arch {
+	switch a {
+	case ArchFlywheel:
+		return sim.ArchFlywheel
+	case ArchRegAlloc:
+		return sim.ArchRegAlloc
+	default:
+		return sim.ArchBaseline
+	}
+}
+
+// Node is a process technology feature size in micrometers. It selects the
+// baseline clock (the issue-window frequency from the latency model) and
+// the power model's electrical parameters.
+type Node float64
+
+// Supported technology nodes.
+const (
+	Node180 Node = 0.18
+	Node130 Node = 0.13
+	Node90  Node = 0.09
+	Node60  Node = 0.06
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Benchmark names one of the workloads (see Benchmarks()).
+	Benchmark string
+	// Arch selects the machine; the zero value is the baseline.
+	Arch Arch
+	// Node selects the technology point; the zero value is 0.13 µm.
+	Node Node
+	// FEBoostPct speeds up the front-end clock domain (0..100, §5).
+	FEBoostPct int
+	// BEBoostPct speeds up the trace-execution back-end clock (0..50).
+	BEBoostPct int
+	// Instructions bounds the measured dynamic instruction count after the
+	// workload's warm-up; the zero value runs 300k instructions. Use
+	// RunToCompletion to simulate the whole program.
+	Instructions uint64
+	// RunToCompletion ignores Instructions and runs the workload to halt.
+	RunToCompletion bool
+}
+
+// Result is one simulation outcome.
+type Result struct {
+	// TimePS is the simulated execution time in picoseconds — the paper's
+	// performance metric (clock domains differ, so cycle counts don't
+	// compare).
+	TimePS int64
+	// Cycles counts executed back-end clock cycles.
+	Cycles uint64
+	// Retired counts committed instructions.
+	Retired uint64
+	// IPC is Retired/Cycles (back-end cycles).
+	IPC float64
+	// EnergyPJ is the total energy estimate in picojoules.
+	EnergyPJ float64
+	// PowerW is the average power in watts.
+	PowerW float64
+	// LeakageFrac is leakage's share of total energy.
+	LeakageFrac float64
+	// ECResidency is the fraction of time spent in trace-execution mode
+	// (zero for the baseline).
+	ECResidency float64
+	// Mispredicts counts front-end branch mispredictions; Divergences
+	// counts trace-path mispredictions during replay.
+	Mispredicts uint64
+	Divergences uint64
+	// BranchAccuracy is the front-end predictor's accuracy.
+	BranchAccuracy float64
+}
+
+// Speedup returns base's execution time divided by r's.
+func (r Result) Speedup(base Result) float64 {
+	if r.TimePS == 0 {
+		return 0
+	}
+	return float64(base.TimePS) / float64(r.TimePS)
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	instructions := cfg.Instructions
+	if instructions == 0 && !cfg.RunToCompletion {
+		instructions = 300_000
+	}
+	if cfg.RunToCompletion {
+		instructions = 0
+	}
+	node := cacti.Node(cfg.Node)
+	if cfg.Node == 0 {
+		node = cacti.Node130
+	}
+	res, err := sim.Run(sim.RunConfig{
+		Workload:        cfg.Benchmark,
+		Arch:            cfg.Arch.internal(),
+		Node:            node,
+		FEBoostPct:      cfg.FEBoostPct,
+		BEBoostPct:      cfg.BEBoostPct,
+		MaxInstructions: instructions,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return publicResult(res), nil
+}
+
+func publicResult(res sim.Result) Result {
+	return Result{
+		TimePS:         res.TimePS,
+		Cycles:         res.Cycles,
+		Retired:        res.Retired,
+		IPC:            res.IPC,
+		EnergyPJ:       res.EnergyPJ,
+		PowerW:         res.PowerW,
+		LeakageFrac:    res.LeakageFrac,
+		ECResidency:    res.ECResidency,
+		Mispredicts:    res.Mispredicts,
+		Divergences:    res.Divergences,
+		BranchAccuracy: res.BranchAccuracy,
+	}
+}
+
+// Compare runs the same benchmark on the baseline and on the given
+// configuration, returning both results.
+func Compare(cfg Config) (target, baseline Result, err error) {
+	target, err = Run(cfg)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	base := cfg
+	base.Arch = ArchBaseline
+	base.FEBoostPct, base.BEBoostPct = 0, 0
+	baseline, err = Run(base)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	return target, baseline, nil
+}
+
+// Benchmarks lists the available workloads in the paper's figure order.
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarkInfo describes one workload.
+type BenchmarkInfo struct {
+	Name        string
+	Suite       string
+	FP          bool
+	Description string
+}
+
+// Describe returns the metadata of a workload.
+func Describe(name string) (BenchmarkInfo, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return BenchmarkInfo{}, err
+	}
+	return BenchmarkInfo{Name: w.Name, Suite: w.Suite, FP: w.FP, Description: w.Description}, nil
+}
+
+// ModuleFrequencies returns the latency-model clock frequencies (MHz) of
+// the main pipeline modules at a node (the paper's Table 1).
+type ModuleFrequencies struct {
+	IssueWindow     float64
+	ICache          float64
+	DCache          float64
+	RegFile         float64
+	ExecutionCache  float64
+	FlywheelRegFile float64
+}
+
+// Frequencies computes the Table 1 row for a node.
+func Frequencies(n Node) (ModuleFrequencies, error) {
+	switch n {
+	case Node180, Node130, Node90, Node60:
+	default:
+		return ModuleFrequencies{}, fmt.Errorf("flywheel: unsupported node %v", float64(n))
+	}
+	t := cacti.Table1(cacti.Node(n))
+	return ModuleFrequencies{
+		IssueWindow:     t.IssueWindow,
+		ICache:          t.ICache,
+		DCache:          t.DCache,
+		RegFile:         t.RegFile,
+		ExecutionCache:  t.ExecutionCache,
+		FlywheelRegFile: t.FlywheelRegFile,
+	}, nil
+}
+
+// RunAssembly assembles a custom program for the flywheel ISA and runs it
+// under the given configuration (the whole program is measured; Benchmark
+// is used only as a label). See the assembler syntax in internal/asm and
+// the workload kernels for examples.
+func RunAssembly(name, source string, cfg Config) (Result, error) {
+	node := cacti.Node(cfg.Node)
+	if cfg.Node == 0 {
+		node = cacti.Node130
+	}
+	instructions := cfg.Instructions
+	if cfg.RunToCompletion {
+		instructions = 0
+	}
+	res, err := sim.RunSource(name, source, sim.RunConfig{
+		Workload:        name,
+		Arch:            cfg.Arch.internal(),
+		Node:            node,
+		FEBoostPct:      cfg.FEBoostPct,
+		BEBoostPct:      cfg.BEBoostPct,
+		MaxInstructions: instructions,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return publicResult(res), nil
+}

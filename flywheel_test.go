@@ -1,0 +1,277 @@
+package flywheel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/cacti"
+	"flywheel/internal/core"
+	"flywheel/internal/emu"
+	"flywheel/internal/ooo"
+	"flywheel/internal/workload"
+)
+
+func TestPublicRunBaselineVsFlywheel(t *testing.T) {
+	fly, base, err := Compare(Config{
+		Benchmark:    "vpr",
+		Arch:         ArchFlywheel,
+		FEBoostPct:   50,
+		BEBoostPct:   50,
+		Instructions: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Retired < 60_000 || fly.Retired < 60_000 {
+		t.Fatalf("retired base=%d fly=%d, want >= 60000", base.Retired, fly.Retired)
+	}
+	if fly.ECResidency <= 0.5 {
+		t.Errorf("flywheel EC residency = %.2f, want > 0.5", fly.ECResidency)
+	}
+	if base.ECResidency != 0 {
+		t.Errorf("baseline EC residency = %.2f, want 0", base.ECResidency)
+	}
+	if sp := fly.Speedup(base); sp < 1.0 {
+		t.Errorf("vpr FE50/BE50 speedup = %.2f, want > 1", sp)
+	}
+	if fly.EnergyPJ <= 0 || base.EnergyPJ <= 0 {
+		t.Error("energy not computed")
+	}
+}
+
+func TestPublicRunRejectsUnknownBenchmark(t *testing.T) {
+	if _, err := Run(Config{Benchmark: "nope"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarksAndDescribe(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 10 {
+		t.Fatalf("benchmark count = %d, want 10", len(names))
+	}
+	for _, n := range names {
+		info, err := Describe(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Description == "" || info.Suite == "" {
+			t.Errorf("%s missing metadata", n)
+		}
+	}
+	if _, err := Describe("bogus"); err == nil {
+		t.Error("bogus benchmark described")
+	}
+}
+
+func TestFrequenciesMatchHeadroomStory(t *testing.T) {
+	f, err := Frequencies(Node60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := f.ICache / f.IssueWindow; ratio < 1.8 {
+		t.Errorf("front-end headroom at 60nm = %.2f, want ~2", ratio)
+	}
+	if _, err := Frequencies(Node(0.5)); err == nil {
+		t.Error("unsupported node accepted")
+	}
+}
+
+func TestRunAssemblyCustomKernel(t *testing.T) {
+	src := `
+	li r1, 2000
+	li r2, 0
+loop:
+	add r2, r2, r1
+	addi r1, r1, -1
+	bnez r1, loop
+	halt
+`
+	res, err := RunAssembly("sum.s", src, Config{
+		Arch: ArchFlywheel, FEBoostPct: 50, BEBoostPct: 50, RunToCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired != 2+3*2000+1 {
+		t.Errorf("retired = %d, want %d", res.Retired, 2+3*2000+1)
+	}
+	if res.ECResidency == 0 {
+		t.Error("tight loop never used the EC")
+	}
+}
+
+// TestGoldenModelEquivalence is the repository's strongest invariant: for
+// randomly generated (terminating) programs, the functional emulator, the
+// baseline out-of-order core and the Flywheel core must agree on the number
+// of retired instructions and on the final architectural state.
+func TestGoldenModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		src := randomProgram(rng)
+
+		prog, err := asm.Assemble("rand.s", src)
+		if err != nil {
+			t.Fatalf("trial %d: assemble: %v\n%s", trial, err, src)
+		}
+
+		// Golden: pure functional execution.
+		golden := emu.New(prog)
+		if _, err := golden.Run(3_000_000); err != nil {
+			t.Fatalf("trial %d: emu: %v", trial, err)
+		}
+		if !golden.Halted {
+			t.Fatalf("trial %d: generated program did not halt", trial)
+		}
+
+		// Baseline timing core.
+		mb := emu.New(prog)
+		bcfg := ooo.DefaultConfig()
+		bcfg.MaxCycles = 50_000_000
+		bcore := ooo.New(bcfg, emu.NewStream(mb, 0))
+		bstats, err := bcore.Run()
+		if err != nil {
+			t.Fatalf("trial %d: baseline: %v\n%s", trial, err, src)
+		}
+
+		// Flywheel timing core.
+		mf := emu.New(prog)
+		fcfg := core.DefaultConfig()
+		fcfg.FEBoostPct, fcfg.BEBoostPct = 50, 50
+		fcfg.MaxCycles = 50_000_000
+		fcore := core.New(fcfg, emu.NewStream(mf, 0))
+		fstats, err := fcore.Run()
+		if err != nil {
+			t.Fatalf("trial %d: flywheel: %v\n%s", trial, err, src)
+		}
+
+		if bstats.Retired != golden.Retired || fstats.Retired != golden.Retired {
+			t.Fatalf("trial %d: retired emu=%d baseline=%d flywheel=%d",
+				trial, golden.Retired, bstats.Retired, fstats.Retired)
+		}
+		for r := 0; r < 32; r++ {
+			if mb.IntRegs[r] != golden.IntRegs[r] || mf.IntRegs[r] != golden.IntRegs[r] {
+				t.Fatalf("trial %d: r%d diverged: emu=%d baseline=%d flywheel=%d",
+					trial, r, golden.IntRegs[r], mb.IntRegs[r], mf.IntRegs[r])
+			}
+		}
+	}
+}
+
+// randomProgram generates a terminating program: a counted outer loop whose
+// body mixes arithmetic, memory traffic and data-dependent branches.
+func randomProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("\tli r1, ")
+	b.WriteString(itoa(200 + rng.Intn(400)))
+	b.WriteString(" ; outer counter\n\tla r10, buf\n\tli r9, 88172645\nloop:\n")
+	body := 4 + rng.Intn(12)
+	for i := 0; i < body; i++ {
+		dst := 2 + rng.Intn(7)
+		a := 2 + rng.Intn(7)
+		c := 2 + rng.Intn(7)
+		switch rng.Intn(8) {
+		case 0:
+			b.WriteString("\tadd r" + itoa(dst) + ", r" + itoa(a) + ", r" + itoa(c) + "\n")
+		case 1:
+			b.WriteString("\txor r" + itoa(dst) + ", r" + itoa(a) + ", r" + itoa(c) + "\n")
+		case 2:
+			b.WriteString("\tmul r" + itoa(dst) + ", r" + itoa(a) + ", r" + itoa(c) + "\n")
+		case 3:
+			b.WriteString("\taddi r" + itoa(dst) + ", r" + itoa(a) + ", " + itoa(rng.Intn(64)) + "\n")
+		case 4:
+			off := rng.Intn(32) * 8
+			b.WriteString("\tsd r" + itoa(dst) + ", " + itoa(off) + "(r10)\n")
+		case 5:
+			off := rng.Intn(32) * 8
+			b.WriteString("\tld r" + itoa(dst) + ", " + itoa(off) + "(r10)\n")
+		case 6:
+			// Data-dependent skip over one instruction.
+			lbl := "s" + itoa(rng.Int())
+			b.WriteString("\tandi r8, r" + itoa(a) + ", " + itoa(1+rng.Intn(7)) + "\n")
+			b.WriteString("\tbeqz r8, " + lbl + "\n")
+			b.WriteString("\taddi r" + itoa(dst) + ", r" + itoa(dst) + ", 1\n")
+			b.WriteString(lbl + ":\n")
+		case 7:
+			b.WriteString("\tslli r9, r9, 1\n\txor r9, r9, r" + itoa(a) + "\n")
+		}
+	}
+	b.WriteString("\taddi r1, r1, -1\n\tbnez r1, loop\n\thalt\n.data\nbuf:\n\t.space 512\n")
+	return b.String()
+}
+
+func itoa(v int) string {
+	if v < 0 {
+		v = -v
+	}
+	digits := "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var out []byte
+	for v > 0 {
+		out = append([]byte{digits[v%10]}, out...)
+		v /= 10
+	}
+	return string(out)
+}
+
+// TestBaselinePeriodDrivesTime checks the public Node knob end to end: the
+// same benchmark takes less wall-clock (simulated) time at a finer node.
+func TestBaselinePeriodDrivesTime(t *testing.T) {
+	old, err := Run(Config{Benchmark: "ijpeg", Node: Node180, Instructions: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := Run(Config{Benchmark: "ijpeg", Node: Node60, Instructions: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modern.TimePS >= old.TimePS {
+		t.Errorf("0.06um run (%d ps) not faster than 0.18um (%d ps)", modern.TimePS, old.TimePS)
+	}
+	if cacti.BaselinePeriodPS(cacti.Node60) >= cacti.BaselinePeriodPS(cacti.Node180) {
+		t.Error("node periods not ordered")
+	}
+}
+
+// TestWorkloadDeterminism: two identical runs must agree exactly.
+func TestWorkloadDeterminism(t *testing.T) {
+	cfg := Config{Benchmark: "bzip2", Arch: ArchFlywheel, FEBoostPct: 25, BEBoostPct: 50, Instructions: 40_000}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical configs disagree:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestAllWorkloadsOnBothCores is the broad integration sweep: every
+// benchmark proxy runs a window on both machines and retires exactly what
+// the oracle executes.
+func TestAllWorkloadsOnBothCores(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, arch := range []Arch{ArchBaseline, ArchFlywheel, ArchRegAlloc} {
+				res, err := Run(Config{
+					Benchmark: name, Arch: arch,
+					FEBoostPct: 50, BEBoostPct: 50, Instructions: 25_000,
+				})
+				if err != nil {
+					t.Fatalf("%v: %v", arch, err)
+				}
+				if res.Retired < 25_000 {
+					t.Errorf("%v: retired %d, want >= 25000", arch, res.Retired)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,289 @@
+// Package asm assembles text assembly for the flywheel ISA into loadable
+// program images. It is a classic two-pass assembler: pass one scans
+// sections, expands pseudo-instruction sizes and assigns label addresses;
+// pass two encodes instructions with all symbols resolved.
+//
+// Syntax overview (see the workload kernels under internal/workload for
+// larger examples):
+//
+//	; comment            # comment            // comment
+//	.text                                 start of code section (default)
+//	.data                                 start of data section
+//	.global main                          entry point label
+//	loop:   addi r1, r1, -1               labels end with ':'
+//	        ld   r2, 8(r3)                memory operands are imm(reg)
+//	        bne  r1, r0, loop             control targets are labels
+//	.data
+//	table:  .word 1, 2, 3                 64-bit data words
+//	vec:    .double 1.5, 2.5              64-bit IEEE floats
+//	buf:    .space 256                    zeroed bytes
+//	        .align 8
+//
+// Pseudo-instructions: li, la, mv, not, neg, call, ret, jr, b, beqz, bnez,
+// bgt, ble.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"flywheel/internal/isa"
+)
+
+// Memory layout constants. Code and data live in disjoint regions so the
+// timing models can classify accesses.
+const (
+	CodeBase uint64 = 0x0000_1000
+	DataBase uint64 = 0x0010_0000
+)
+
+// Program is an assembled, loadable image.
+type Program struct {
+	Name string
+	// Code holds the instruction stream; instruction i lives at address
+	// CodeBase + 4*i.
+	Code []isa.Instruction
+	// Data is the initialized data image, based at DataBase.
+	Data []byte
+	// Entry is the address of the entry point (the .global label, or
+	// CodeBase when none is declared).
+	Entry uint64
+	// Symbols maps every label to its resolved address.
+	Symbols map[string]uint64
+}
+
+// CodeEnd returns the first address past the code section.
+func (p *Program) CodeEnd() uint64 { return CodeBase + uint64(len(p.Code))*isa.InstBytes }
+
+// InstAt returns the instruction at the given address. ok is false outside
+// the code section.
+func (p *Program) InstAt(addr uint64) (isa.Instruction, bool) {
+	if addr < CodeBase || addr >= p.CodeEnd() || addr%isa.InstBytes != 0 {
+		return isa.Nop(), false
+	}
+	return p.Code[(addr-CodeBase)/isa.InstBytes], true
+}
+
+// Error is one assembly diagnostic.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+// ErrorList collects all diagnostics from one assembly run.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	default:
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s (and %d more errors)", l[0].Error(), len(l)-1)
+		return b.String()
+	}
+}
+
+// Assemble builds a program from source. name is used in diagnostics and as
+// the program name.
+func Assemble(name, source string) (*Program, error) {
+	a := &assembler{
+		name:    name,
+		prog:    &Program{Name: name, Symbols: make(map[string]uint64)},
+		dataPos: 0,
+	}
+	lines := strings.Split(source, "\n")
+
+	// Pass 1: sizes and symbols.
+	a.pass = 1
+	a.section = sectText
+	for i, raw := range lines {
+		a.line = i + 1
+		a.scanLine(raw)
+	}
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+
+	// Pass 2: encode.
+	a.pass = 2
+	a.section = sectText
+	a.codePos = 0
+	a.dataPos = 0
+	a.prog.Data = make([]byte, a.dataSize)
+	for i, raw := range lines {
+		a.line = i + 1
+		a.scanLine(raw)
+	}
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+
+	a.prog.Entry = CodeBase
+	if a.entry != "" {
+		addr, ok := a.prog.Symbols[a.entry]
+		if !ok {
+			return nil, ErrorList{{File: name, Line: a.entryLine, Msg: fmt.Sprintf("entry point %q is not defined", a.entry)}}
+		}
+		a.prog.Entry = addr
+	}
+	if len(a.prog.Code) == 0 {
+		return nil, ErrorList{{File: name, Line: 1, Msg: "program has no code"}}
+	}
+	return a.prog, nil
+}
+
+// MustAssemble assembles or panics; for static workload tables and tests.
+func MustAssemble(name, source string) *Program {
+	p, err := Assemble(name, source)
+	if err != nil {
+		panic(fmt.Sprintf("asm: %s: %v", name, err))
+	}
+	return p
+}
+
+type section int
+
+const (
+	sectText section = iota
+	sectData
+)
+
+type assembler struct {
+	name    string
+	pass    int
+	line    int
+	section section
+
+	prog      *Program
+	codePos   int // instruction index
+	dataPos   int // byte offset in data
+	dataSize  int // total data size discovered in pass 1
+	entry     string
+	entryLine int
+
+	errs ErrorList
+}
+
+func (a *assembler) errorf(format string, args ...any) {
+	a.errs = append(a.errs, &Error{File: a.name, Line: a.line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// scanLine handles one source line in the current pass.
+func (a *assembler) scanLine(raw string) {
+	text := stripComment(raw)
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return
+	}
+
+	// Peel off any leading labels ("name:").
+	for {
+		idx := strings.Index(text, ":")
+		if idx < 0 {
+			break
+		}
+		head := strings.TrimSpace(text[:idx])
+		if !isIdent(head) {
+			break
+		}
+		a.defineLabel(head)
+		text = strings.TrimSpace(text[idx+1:])
+	}
+	if text == "" {
+		return
+	}
+
+	if strings.HasPrefix(text, ".") {
+		a.directive(text)
+		return
+	}
+	if a.section != sectText {
+		a.errorf("instruction %q outside .text section", text)
+		return
+	}
+	a.instruction(text)
+}
+
+func (a *assembler) defineLabel(name string) {
+	if a.pass != 1 {
+		return
+	}
+	if _, dup := a.prog.Symbols[name]; dup {
+		a.errorf("label %q redefined", name)
+		return
+	}
+	switch a.section {
+	case sectText:
+		a.prog.Symbols[name] = CodeBase + uint64(a.codePos)*isa.InstBytes
+	case sectData:
+		a.prog.Symbols[name] = DataBase + uint64(a.dataPos)
+	}
+}
+
+func stripComment(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ';', '#':
+			return s[:i]
+		case '/':
+			if i+1 < len(s) && s[i+1] == '/' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// emit appends one encoded instruction (pass 2) or just reserves its slot
+// (pass 1).
+func (a *assembler) emit(in isa.Instruction) {
+	if a.pass == 2 {
+		if _, err := isa.Encode(in); err != nil {
+			a.errorf("%v", err)
+		}
+		a.prog.Code = append(a.prog.Code, in)
+	}
+	a.codePos++
+}
+
+// emitData appends bytes to the data image.
+func (a *assembler) emitData(b []byte) {
+	if a.pass == 2 {
+		copy(a.prog.Data[a.dataPos:], b)
+	}
+	a.dataPos += len(b)
+	if a.pass == 1 && a.dataPos > a.dataSize {
+		a.dataSize = a.dataPos
+	}
+}
+
+func (a *assembler) reserveData(n int) {
+	a.dataPos += n
+	if a.pass == 1 && a.dataPos > a.dataSize {
+		a.dataSize = a.dataPos
+	}
+}

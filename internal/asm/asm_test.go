@@ -1,0 +1,316 @@
+package asm
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"flywheel/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasicBlock(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+.global main
+main:
+	addi r1, r0, 10
+	add  r2, r1, r1
+	halt
+`)
+	if p.Entry != CodeBase {
+		t.Errorf("entry = %#x, want %#x", p.Entry, CodeBase)
+	}
+	if len(p.Code) != 3 {
+		t.Fatalf("len(code) = %d, want 3", len(p.Code))
+	}
+	want := []string{"addi r1, r0, 10", "add r2, r1, r1", "halt"}
+	for i, w := range want {
+		if got := p.Code[i].String(); got != w {
+			t.Errorf("code[%d] = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	addi r1, r0, 4      ; 0x1000
+loop:
+	addi r1, r1, -1     ; 0x1004
+	bne  r1, r0, loop   ; 0x1008 -> disp -1
+	j    start          ; 0x100c -> disp -3
+	halt
+`)
+	bne := p.Code[2]
+	if bne.Op != isa.BNE || bne.Imm != -1 {
+		t.Errorf("bne = %v, want disp -1", bne)
+	}
+	j := p.Code[3]
+	if j.Op != isa.J || j.Imm != -3 {
+		t.Errorf("j = %v, want disp -3", j)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	p := mustAssemble(t, `
+	beq r0, r0, end
+	addi r1, r0, 1
+end:
+	halt
+`)
+	if p.Code[0].Imm != 2 {
+		t.Errorf("forward branch disp = %d, want 2", p.Code[0].Imm)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+.text
+	halt
+.data
+tbl:
+	.word 1, 2, -3
+vec:
+	.double 1.5
+buf:
+	.space 16
+b:
+	.byte 7
+	.align 8
+end:
+	.word 0xdeadbeef
+`)
+	if got := p.Symbols["tbl"]; got != DataBase {
+		t.Errorf("tbl = %#x, want %#x", got, DataBase)
+	}
+	if got := p.Symbols["vec"]; got != DataBase+24 {
+		t.Errorf("vec = %#x, want %#x", got, DataBase+24)
+	}
+	if got := p.Symbols["buf"]; got != DataBase+32 {
+		t.Errorf("buf = %#x, want %#x", got, DataBase+32)
+	}
+	if got := p.Symbols["b"]; got != DataBase+48 {
+		t.Errorf("b = %#x, want %#x", got, DataBase+48)
+	}
+	// .align 8 pads 48+1 -> 56.
+	if got := p.Symbols["end"]; got != DataBase+56 {
+		t.Errorf("end = %#x, want %#x", got, DataBase+56)
+	}
+	if got := int64(binary.LittleEndian.Uint64(p.Data[16:])); got != -3 {
+		t.Errorf("tbl[2] = %d, want -3", got)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(p.Data[24:])); got != 1.5 {
+		t.Errorf("vec[0] = %v, want 1.5", got)
+	}
+	if p.Data[48] != 7 {
+		t.Errorf("byte = %d, want 7", p.Data[48])
+	}
+	if got := binary.LittleEndian.Uint64(p.Data[56:]); got != 0xdeadbeef {
+		t.Errorf("end word = %#x", got)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+	li   r1, 42
+	li   r2, 0x12345
+	mv   r3, r1
+	mv   f1, f2
+	not  r4, r1
+	neg  r5, r1
+	call fn
+	b    main
+	beqz r1, main
+	bnez r1, main
+	bgt  r1, r2, main
+	ble  r1, r2, main
+fn:
+	ret
+	halt
+`)
+	if p.Code[0].Op != isa.ADDI || p.Code[0].Imm != 42 {
+		t.Errorf("li small = %v", p.Code[0])
+	}
+	// 0x12345 needs lui+addi.
+	if p.Code[1].Op != isa.LUI {
+		t.Errorf("li large first = %v, want lui", p.Code[1])
+	}
+	if p.Code[2].Op != isa.ADDI || p.Code[2].Rs1 != isa.IntReg(2) {
+		t.Errorf("li large second = %v, want addi r2, r2, lo", p.Code[2])
+	}
+	// Verify the hi/lo decomposition reconstructs the constant.
+	hi, lo := int64(p.Code[1].Imm), int64(p.Code[2].Imm)
+	if (hi<<12)+lo != 0x12345 {
+		t.Errorf("li decomposition (%d<<12)+%d != 0x12345", hi, lo)
+	}
+	if p.Code[3].Op != isa.ADDI || p.Code[3].Imm != 0 {
+		t.Errorf("mv = %v", p.Code[3])
+	}
+	if p.Code[4].Op != isa.FMOV {
+		t.Errorf("fp mv = %v", p.Code[4])
+	}
+	if p.Code[5].Op != isa.XORI || p.Code[5].Imm != -1 {
+		t.Errorf("not = %v", p.Code[5])
+	}
+	if p.Code[6].Op != isa.SUB || p.Code[6].Rs1 != isa.IntReg(0) {
+		t.Errorf("neg = %v", p.Code[6])
+	}
+	call := p.Code[7]
+	if call.Op != isa.JAL || call.Rd != isa.IntReg(31) {
+		t.Errorf("call = %v", call)
+	}
+	ret := p.Code[13]
+	if ret.Op != isa.JALR || ret.Rd != isa.IntReg(0) || ret.Rs1 != isa.IntReg(31) {
+		t.Errorf("ret = %v", ret)
+	}
+}
+
+func TestLoadAddress(t *testing.T) {
+	p := mustAssemble(t, `
+	la r1, tbl
+	halt
+.data
+	.space 24
+tbl:
+	.word 9
+`)
+	addr := p.Symbols["tbl"]
+	hi, lo := int64(p.Code[0].Imm), int64(p.Code[1].Imm)
+	if got := uint64((hi << 12) + lo); got != addr {
+		t.Errorf("la reconstructs %#x, want %#x", got, addr)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	p := mustAssemble(t, `
+	ld  r1, 8(r2)
+	ld  r3, (r4)
+	sd  r1, -16(r2)
+	fld f1, 0(r2)
+	fsd f1, 8(r2)
+	halt
+`)
+	if p.Code[0].Rs1 != isa.IntReg(2) || p.Code[0].Imm != 8 {
+		t.Errorf("ld = %v", p.Code[0])
+	}
+	if p.Code[1].Imm != 0 {
+		t.Errorf("ld with empty offset = %v", p.Code[1])
+	}
+	if p.Code[2].Op != isa.SD || p.Code[2].Rs2 != isa.IntReg(1) || p.Code[2].Imm != -16 {
+		t.Errorf("sd = %v", p.Code[2])
+	}
+	if !p.Code[3].Rd.IsFP() {
+		t.Errorf("fld dest = %v", p.Code[3])
+	}
+}
+
+func TestCommentsAndAliases(t *testing.T) {
+	p := mustAssemble(t, `
+	addi r1, zero, 1   ; semicolon comment
+	addi r2, zero, 2   # hash comment
+	addi r3, zero, 3   // slash comment
+	mv r4, sp
+	jr ra
+	halt
+`)
+	if len(p.Code) != 6 {
+		t.Fatalf("len(code) = %d, want 6", len(p.Code))
+	}
+	if p.Code[3].Rs1 != isa.IntReg(29) {
+		t.Errorf("sp alias = %v", p.Code[3])
+	}
+	if p.Code[4].Rs1 != isa.IntReg(31) {
+		t.Errorf("ra alias = %v", p.Code[4])
+	}
+}
+
+func TestEntryPoint(t *testing.T) {
+	p := mustAssemble(t, `
+.global main
+	nop
+main:
+	halt
+`)
+	if p.Entry != CodeBase+4 {
+		t.Errorf("entry = %#x, want %#x", p.Entry, CodeBase+4)
+	}
+}
+
+func TestInstAt(t *testing.T) {
+	p := mustAssemble(t, "\taddi r1, r0, 1\n\thalt\n")
+	if in, ok := p.InstAt(CodeBase); !ok || in.Op != isa.ADDI {
+		t.Errorf("InstAt(base) = %v, %v", in, ok)
+	}
+	if _, ok := p.InstAt(CodeBase + 8); ok {
+		t.Error("InstAt past end succeeded")
+	}
+	if _, ok := p.InstAt(CodeBase + 1); ok {
+		t.Error("InstAt unaligned succeeded")
+	}
+	if _, ok := p.InstAt(0); ok {
+		t.Error("InstAt(0) succeeded")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", "\tfoo r1, r2\n", "unknown mnemonic"},
+		{"bad register", "\taddi rx, r0, 1\n", "bad register"},
+		{"wrong operand count", "\tadd r1, r2\n", "expects 3 operands"},
+		{"undefined label", "\tj nowhere\n", "undefined label"},
+		{"redefined label", "a:\n\tnop\na:\n\thalt\n", "redefined"},
+		{"imm out of range", "\taddi r1, r0, 5000\n", "cannot encode"},
+		{"data in text", "\t.word 5\n", "outside .data"},
+		{"unknown directive", "\t.bogus\n", "unknown directive"},
+		{"bad mem operand", "\tld r1, 8[r2]\n", "bad memory operand"},
+		{"no code", ".data\n\t.word 1\n", "no code"},
+		{"bad float", ".text\n\thalt\n.data\n\t.double xyz\n", "bad float"},
+		{"entry missing", ".global nope\n\thalt\n", "not defined"},
+		{"cross-file mv", "\tmv r1, f1\n", "register files"},
+		{"li overflow", "\tli r1, 0x7fffffffffffffff\n", "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("t.s", c.src)
+			if err == nil {
+				t.Fatalf("assembled without error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorListFormat(t *testing.T) {
+	_, err := Assemble("t.s", "\tfoo\n\tbar\n\thalt\n")
+	if err == nil {
+		t.Fatal("want errors")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "t.s:1") || !strings.Contains(msg, "more error") {
+		t.Errorf("multi-error format = %q", msg)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bad.s", "\tfoo\n")
+}

@@ -1,0 +1,450 @@
+package asm
+
+import (
+	"encoding/binary"
+	"math"
+	"strconv"
+	"strings"
+
+	"flywheel/internal/isa"
+)
+
+// Register aliases accepted in addition to r0..r31 / f0..f31.
+var regAliases = map[string]isa.Reg{
+	"zero": isa.IntReg(0),
+	"ra":   isa.IntReg(31), // link register used by call/ret
+	"sp":   isa.IntReg(29),
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	if r, ok := regAliases[s]; ok {
+		return r, true
+	}
+	if len(s) < 2 {
+		return isa.RegNone, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return isa.RegNone, false
+	}
+	switch s[0] {
+	case 'r':
+		return isa.IntReg(n), true
+	case 'f':
+		return isa.FPReg(n), true
+	}
+	return isa.RegNone, false
+}
+
+// directive handles one dot-directive line.
+func (a *assembler) directive(text string) {
+	fields := strings.Fields(text)
+	name := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(text, name))
+	switch name {
+	case ".text":
+		a.section = sectText
+	case ".data":
+		a.section = sectData
+	case ".global", ".globl", ".entry":
+		if len(fields) != 2 || !isIdent(fields[1]) {
+			a.errorf("%s needs one label operand", name)
+			return
+		}
+		if a.pass == 1 {
+			if a.entry != "" && a.entry != fields[1] {
+				a.errorf("entry point redefined (%q was set at line %d)", a.entry, a.entryLine)
+				return
+			}
+			a.entry = fields[1]
+			a.entryLine = a.line
+		}
+	case ".word":
+		a.dataValues(rest, 8, func(v int64) []byte {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			return b[:]
+		})
+	case ".byte":
+		a.dataValues(rest, 1, func(v int64) []byte { return []byte{byte(v)} })
+	case ".double":
+		if a.section != sectData {
+			a.errorf(".double outside .data section")
+			return
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				a.errorf("bad float literal %q", f)
+				continue
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			a.emitData(b[:])
+		}
+	case ".space":
+		if a.section != sectData {
+			a.errorf(".space outside .data section")
+			return
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(rest), 0, 32)
+		if err != nil || n < 0 {
+			a.errorf("bad .space size %q", rest)
+			return
+		}
+		a.reserveData(int(n))
+	case ".align":
+		n, err := strconv.ParseInt(strings.TrimSpace(rest), 0, 32)
+		if err != nil || n <= 0 || (n&(n-1)) != 0 {
+			a.errorf("bad .align %q (need a power of two)", rest)
+			return
+		}
+		if a.section == sectData {
+			pad := (int(n) - a.dataPos%int(n)) % int(n)
+			a.reserveData(pad)
+		}
+	default:
+		a.errorf("unknown directive %q", name)
+	}
+}
+
+func (a *assembler) dataValues(rest string, width int, enc func(int64) []byte) {
+	if a.section != sectData {
+		a.errorf("data directive outside .data section")
+		return
+	}
+	for _, f := range splitOperands(rest) {
+		v, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			// Allow unsigned 64-bit literals too.
+			u, uerr := strconv.ParseUint(f, 0, 64)
+			if uerr != nil {
+				a.errorf("bad integer literal %q", f)
+				continue
+			}
+			v = int64(u)
+		}
+		a.emitData(enc(v))
+	}
+}
+
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// pc returns the address of the instruction being emitted.
+func (a *assembler) pc() uint64 { return CodeBase + uint64(a.codePos)*isa.InstBytes }
+
+// branchDisp resolves a label to a branch displacement in instruction units,
+// relative to the current instruction.
+func (a *assembler) branchDisp(label string) int32 {
+	if a.pass == 1 {
+		return 0
+	}
+	target, ok := a.prog.Symbols[label]
+	if !ok {
+		a.errorf("undefined label %q", label)
+		return 0
+	}
+	return int32((int64(target) - int64(a.pc())) / isa.InstBytes)
+}
+
+// symbolAddr resolves a label to its absolute address.
+func (a *assembler) symbolAddr(label string) uint64 {
+	if a.pass == 1 {
+		return 0
+	}
+	addr, ok := a.prog.Symbols[label]
+	if !ok {
+		a.errorf("undefined label %q", label)
+		return 0
+	}
+	return addr
+}
+
+// instruction assembles one instruction line (real or pseudo).
+func (a *assembler) instruction(text string) {
+	mnemonic := text
+	rest := ""
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		mnemonic, rest = text[:i], strings.TrimSpace(text[i+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+	ops := splitOperands(rest)
+
+	if a.pseudo(mnemonic, ops) {
+		return
+	}
+
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		a.errorf("unknown mnemonic %q", mnemonic)
+		return
+	}
+	in := isa.Instruction{Op: op, Rd: isa.RegNone, Rs1: isa.RegNone, Rs2: isa.RegNone}
+
+	need := func(n int) bool {
+		if len(ops) != n {
+			a.errorf("%s expects %d operands, got %d", mnemonic, n, len(ops))
+			return false
+		}
+		return true
+	}
+	reg := func(s string) isa.Reg {
+		r, ok := parseReg(s)
+		if !ok {
+			a.errorf("bad register %q", s)
+		}
+		return r
+	}
+	imm := func(s string) int32 {
+		v, err := strconv.ParseInt(s, 0, 32)
+		if err != nil {
+			a.errorf("bad immediate %q", s)
+			return 0
+		}
+		return int32(v)
+	}
+
+	switch op.Info().Format {
+	case isa.FmtNone:
+		if !need(0) {
+			return
+		}
+	case isa.FmtRRR:
+		if !need(3) {
+			return
+		}
+		in.Rd, in.Rs1, in.Rs2 = reg(ops[0]), reg(ops[1]), reg(ops[2])
+	case isa.FmtRR:
+		if !need(2) {
+			return
+		}
+		in.Rd, in.Rs1 = reg(ops[0]), reg(ops[1])
+	case isa.FmtRRI:
+		if !need(3) {
+			return
+		}
+		in.Rd, in.Rs1, in.Imm = reg(ops[0]), reg(ops[1]), imm(ops[2])
+	case isa.FmtRI:
+		if !need(2) {
+			return
+		}
+		in.Rd, in.Imm = reg(ops[0]), imm(ops[1])
+	case isa.FmtMem:
+		if !need(2) {
+			return
+		}
+		in.Rd = reg(ops[0])
+		base, off, ok := parseMemOperand(ops[1])
+		if !ok {
+			a.errorf("bad memory operand %q", ops[1])
+			return
+		}
+		in.Rs1, in.Imm = reg(base), imm(off)
+	case isa.FmtMemS:
+		if !need(2) {
+			return
+		}
+		in.Rs2 = reg(ops[0])
+		base, off, ok := parseMemOperand(ops[1])
+		if !ok {
+			a.errorf("bad memory operand %q", ops[1])
+			return
+		}
+		in.Rs1, in.Imm = reg(base), imm(off)
+	case isa.FmtBranch:
+		if !need(3) {
+			return
+		}
+		in.Rs1, in.Rs2 = reg(ops[0]), reg(ops[1])
+		in.Imm = a.controlTarget(ops[2])
+	case isa.FmtJump:
+		if !need(1) {
+			return
+		}
+		in.Imm = a.controlTarget(ops[0])
+	case isa.FmtJAL:
+		if !need(2) {
+			return
+		}
+		in.Rd = reg(ops[0])
+		in.Imm = a.controlTarget(ops[1])
+	case isa.FmtJALR:
+		if !need(2) {
+			return
+		}
+		in.Rd, in.Rs1 = reg(ops[0]), reg(ops[1])
+	}
+	a.emit(in)
+}
+
+// controlTarget accepts either a label or a numeric displacement.
+func (a *assembler) controlTarget(s string) int32 {
+	if v, err := strconv.ParseInt(s, 0, 32); err == nil {
+		return int32(v)
+	}
+	if !isIdent(s) {
+		a.errorf("bad control-flow target %q", s)
+		return 0
+	}
+	return a.branchDisp(s)
+}
+
+func parseMemOperand(s string) (base, offset string, ok bool) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", "", false
+	}
+	offset = strings.TrimSpace(s[:open])
+	if offset == "" {
+		offset = "0"
+	}
+	base = strings.TrimSpace(s[open+1 : len(s)-1])
+	return base, offset, base != ""
+}
+
+// pseudo expands pseudo-instructions; it reports whether the mnemonic was a
+// pseudo-instruction.
+func (a *assembler) pseudo(mnemonic string, ops []string) bool {
+	reg := func(s string) isa.Reg {
+		r, ok := parseReg(s)
+		if !ok {
+			a.errorf("bad register %q", s)
+		}
+		return r
+	}
+	need := func(n int) bool {
+		if len(ops) != n {
+			a.errorf("%s expects %d operands, got %d", mnemonic, n, len(ops))
+			return false
+		}
+		return true
+	}
+	switch mnemonic {
+	case "li":
+		if !need(2) {
+			return true
+		}
+		rd := reg(ops[0])
+		v, err := strconv.ParseInt(ops[1], 0, 64)
+		if err != nil {
+			a.errorf("bad immediate %q", ops[1])
+			return true
+		}
+		a.loadConstant(rd, v)
+	case "la":
+		if !need(2) {
+			return true
+		}
+		rd := reg(ops[0])
+		if !isIdent(ops[1]) {
+			a.errorf("la needs a label, got %q", ops[1])
+			return true
+		}
+		addr := a.symbolAddr(ops[1])
+		// Always two instructions so pass-1 sizing is stable.
+		hi, lo := splitHiLo(int64(addr))
+		a.emit(isa.Instruction{Op: isa.LUI, Rd: rd, Imm: int32(hi), Rs1: isa.RegNone, Rs2: isa.RegNone})
+		a.emit(isa.Instruction{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: int32(lo), Rs2: isa.RegNone})
+	case "mv":
+		if !need(2) {
+			return true
+		}
+		rd, rs := reg(ops[0]), reg(ops[1])
+		if rd.IsFP() != rs.IsFP() {
+			a.errorf("mv cannot move between register files (use fcvtif/fcvtfi)")
+			return true
+		}
+		if rd.IsFP() {
+			a.emit(isa.Instruction{Op: isa.FMOV, Rd: rd, Rs1: rs, Rs2: isa.RegNone})
+		} else {
+			a.emit(isa.Instruction{Op: isa.ADDI, Rd: rd, Rs1: rs, Imm: 0, Rs2: isa.RegNone})
+		}
+	case "not":
+		if !need(2) {
+			return true
+		}
+		a.emit(isa.Instruction{Op: isa.XORI, Rd: reg(ops[0]), Rs1: reg(ops[1]), Imm: -1, Rs2: isa.RegNone})
+	case "neg":
+		if !need(2) {
+			return true
+		}
+		a.emit(isa.Instruction{Op: isa.SUB, Rd: reg(ops[0]), Rs1: isa.IntReg(0), Rs2: reg(ops[1])})
+	case "call":
+		if !need(1) {
+			return true
+		}
+		a.emit(isa.Instruction{Op: isa.JAL, Rd: isa.IntReg(31), Imm: a.controlTarget(ops[0]), Rs1: isa.RegNone, Rs2: isa.RegNone})
+	case "ret":
+		if !need(0) {
+			return true
+		}
+		a.emit(isa.Instruction{Op: isa.JALR, Rd: isa.IntReg(0), Rs1: isa.IntReg(31), Rs2: isa.RegNone})
+	case "jr":
+		if !need(1) {
+			return true
+		}
+		a.emit(isa.Instruction{Op: isa.JALR, Rd: isa.IntReg(0), Rs1: reg(ops[0]), Rs2: isa.RegNone})
+	case "b":
+		if !need(1) {
+			return true
+		}
+		a.emit(isa.Instruction{Op: isa.J, Imm: a.controlTarget(ops[0]), Rd: isa.RegNone, Rs1: isa.RegNone, Rs2: isa.RegNone})
+	case "beqz":
+		if !need(2) {
+			return true
+		}
+		a.emit(isa.Instruction{Op: isa.BEQ, Rs1: reg(ops[0]), Rs2: isa.IntReg(0), Imm: a.controlTarget(ops[1]), Rd: isa.RegNone})
+	case "bnez":
+		if !need(2) {
+			return true
+		}
+		a.emit(isa.Instruction{Op: isa.BNE, Rs1: reg(ops[0]), Rs2: isa.IntReg(0), Imm: a.controlTarget(ops[1]), Rd: isa.RegNone})
+	case "bgt":
+		if !need(3) {
+			return true
+		}
+		a.emit(isa.Instruction{Op: isa.BLT, Rs1: reg(ops[1]), Rs2: reg(ops[0]), Imm: a.controlTarget(ops[2]), Rd: isa.RegNone})
+	case "ble":
+		if !need(3) {
+			return true
+		}
+		a.emit(isa.Instruction{Op: isa.BGE, Rs1: reg(ops[1]), Rs2: reg(ops[0]), Imm: a.controlTarget(ops[2]), Rd: isa.RegNone})
+	default:
+		return false
+	}
+	return true
+}
+
+// loadConstant emits the shortest sequence materializing v into rd.
+func (a *assembler) loadConstant(rd isa.Reg, v int64) {
+	if v >= isa.MinImm12 && v <= isa.MaxImm12 {
+		a.emit(isa.Instruction{Op: isa.ADDI, Rd: rd, Rs1: isa.IntReg(0), Imm: int32(v), Rs2: isa.RegNone})
+		return
+	}
+	hi, lo := splitHiLo(v)
+	if hi < isa.MinImm18 || hi > isa.MaxImm18 {
+		a.errorf("constant %d out of range for li (max ±2^29)", v)
+		return
+	}
+	a.emit(isa.Instruction{Op: isa.LUI, Rd: rd, Imm: int32(hi), Rs1: isa.RegNone, Rs2: isa.RegNone})
+	if lo != 0 {
+		a.emit(isa.Instruction{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: int32(lo), Rs2: isa.RegNone})
+	}
+}
+
+// splitHiLo decomposes v = (hi << 12) + lo with lo in [-2048, 2047].
+func splitHiLo(v int64) (hi, lo int64) {
+	hi = (v + 0x800) >> 12
+	lo = v - (hi << 12)
+	return hi, lo
+}

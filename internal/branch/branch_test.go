@@ -1,0 +1,165 @@
+package branch
+
+import (
+	"testing"
+
+	"flywheel/internal/isa"
+)
+
+func condBranch() isa.Instruction {
+	return isa.Instruction{Op: isa.BNE, Rs1: isa.IntReg(1), Rs2: isa.IntReg(0), Imm: -4, Rd: isa.RegNone}
+}
+
+func TestGShareLearnsLoop(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x1000)
+	in := condBranch()
+	// Train: always taken.
+	for i := 0; i < 32; i++ {
+		p.Predict(pc, in)
+		p.Update(pc, in, true, pc-16)
+	}
+	pred := p.Predict(pc, in)
+	if !pred.Taken {
+		t.Error("predictor did not learn an always-taken branch")
+	}
+	if pred.Target != pc-16 {
+		t.Errorf("branch target = %#x, want %#x", pred.Target, pc-16)
+	}
+	// Retrain: always not-taken.
+	for i := 0; i < 32; i++ {
+		p.Update(pc, in, false, 0)
+	}
+	if p.Predict(pc, in).Taken {
+		t.Error("predictor did not unlearn after retraining")
+	}
+}
+
+func TestGShareLearnsAlternatingPattern(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x2000)
+	in := condBranch()
+	// Alternating T/N: history correlation should capture this perfectly
+	// after warmup.
+	taken := false
+	for i := 0; i < 200; i++ {
+		p.Predict(pc, in)
+		p.Update(pc, in, taken, pc+64)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		pred := p.Predict(pc, in)
+		if pred.Taken == taken {
+			correct++
+		}
+		p.Update(pc, in, taken, pc+64)
+		taken = !taken
+	}
+	if correct < 95 {
+		t.Errorf("alternating pattern accuracy %d/100, want >= 95", correct)
+	}
+}
+
+func TestDirectJumpAlwaysPredicted(t *testing.T) {
+	p := New(DefaultConfig())
+	j := isa.Instruction{Op: isa.J, Imm: 10, Rd: isa.RegNone, Rs1: isa.RegNone, Rs2: isa.RegNone}
+	pred := p.Predict(0x1000, j)
+	if !pred.Taken || !pred.TargetKnown || pred.Target != 0x1000+40 {
+		t.Errorf("direct jump prediction = %+v", pred)
+	}
+}
+
+func TestBTBForIndirectJumps(t *testing.T) {
+	p := New(DefaultConfig())
+	// Indirect jump that is not a return: jalr r0, r5.
+	in := isa.Instruction{Op: isa.JALR, Rd: isa.IntReg(0), Rs1: isa.IntReg(5), Rs2: isa.RegNone}
+	pc := uint64(0x3000)
+	pred := p.Predict(pc, in)
+	if pred.TargetKnown {
+		t.Error("cold BTB offered a target")
+	}
+	p.Update(pc, in, true, 0x4444)
+	pred = p.Predict(pc, in)
+	if !pred.TargetKnown || pred.Target != 0x4444 {
+		t.Errorf("after update, prediction = %+v, want target 0x4444", pred)
+	}
+}
+
+func TestRASPairsCallsAndReturns(t *testing.T) {
+	p := New(DefaultConfig())
+	call := isa.Instruction{Op: isa.JAL, Rd: isa.IntReg(31), Imm: 100, Rs1: isa.RegNone, Rs2: isa.RegNone}
+	ret := isa.Instruction{Op: isa.JALR, Rd: isa.IntReg(0), Rs1: isa.IntReg(31), Rs2: isa.RegNone}
+
+	p.Predict(0x1000, call) // pushes 0x1004
+	p.Predict(0x2000, call) // pushes 0x2004
+	pred := p.Predict(0x5000, ret)
+	if !pred.TargetKnown || pred.Target != 0x2004 {
+		t.Errorf("first return = %+v, want 0x2004", pred)
+	}
+	pred = p.Predict(0x5010, ret)
+	if !pred.TargetKnown || pred.Target != 0x1004 {
+		t.Errorf("second return = %+v, want 0x1004", pred)
+	}
+	// Empty stack: no target.
+	pred = p.Predict(0x5020, ret)
+	if pred.TargetKnown {
+		t.Error("empty RAS offered a target")
+	}
+}
+
+func TestRASOverflowDropsOldest(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASDepth = 2
+	p := New(cfg)
+	call := isa.Instruction{Op: isa.JAL, Rd: isa.IntReg(31), Imm: 1, Rs1: isa.RegNone, Rs2: isa.RegNone}
+	ret := isa.Instruction{Op: isa.JALR, Rd: isa.IntReg(0), Rs1: isa.IntReg(31), Rs2: isa.RegNone}
+	p.Predict(0x1000, call)
+	p.Predict(0x2000, call)
+	p.Predict(0x3000, call) // overflow: drops 0x1004
+	if got := p.Predict(0, ret).Target; got != 0x3004 {
+		t.Errorf("top = %#x, want 0x3004", got)
+	}
+	if got := p.Predict(4, ret).Target; got != 0x2004 {
+		t.Errorf("next = %#x, want 0x2004", got)
+	}
+	if p.Predict(8, ret).TargetKnown {
+		t.Error("RAS should be empty after overflow dropped the oldest entry")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := New(DefaultConfig())
+	in := condBranch()
+	p.Predict(0x100, in)
+	p.RecordOutcome(in, true)
+	p.Predict(0x100, in)
+	p.RecordOutcome(in, false)
+	if p.Stats.CondBranches != 2 || p.Stats.CondWrong != 1 {
+		t.Errorf("stats = %+v", p.Stats)
+	}
+	if got := p.Stats.Accuracy(); got != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", got)
+	}
+	var empty Stats
+	if empty.Accuracy() != 1 {
+		t.Error("idle accuracy != 1")
+	}
+}
+
+func TestConfigRounding(t *testing.T) {
+	p := New(Config{HistoryBits: 10, TableSize: 1000, BTBSize: 300, RASDepth: 8})
+	if got := p.Config().TableSize; got != 1024 {
+		t.Errorf("table size = %d, want 1024", got)
+	}
+	if got := p.Config().BTBSize; got != 512 {
+		t.Errorf("btb size = %d, want 512", got)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.Config().TableSize != 2048 || p.Config().HistoryBits != 12 {
+		t.Errorf("zero config = %+v", p.Config())
+	}
+}

@@ -1,0 +1,157 @@
+package cacti
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr returns |got-want|/want.
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+
+func TestTable1MatchesPaperWithinTolerance(t *testing.T) {
+	// Calibration contract: every modelled frequency is within 7% of the
+	// paper's published Table 1.
+	const tol = 0.07
+	for node, want := range PaperTable1 {
+		got := Table1(node)
+		checks := []struct {
+			name       string
+			got, wantV float64
+		}{
+			{"issue window", got.IssueWindow, want.IssueWindow},
+			{"i-cache", got.ICache, want.ICache},
+			{"d-cache", got.DCache, want.DCache},
+			{"register file", got.RegFile, want.RegFile},
+			{"execution cache", got.ExecutionCache, want.ExecutionCache},
+			{"flywheel register file", got.FlywheelRegFile, want.FlywheelRegFile},
+		}
+		for _, c := range checks {
+			if relErr(c.got, c.wantV) > tol {
+				t.Errorf("%v %s = %.0f MHz, paper says %.0f (err %.1f%%)",
+					node, c.name, c.got, c.wantV, relErr(c.got, c.wantV)*100)
+			}
+		}
+	}
+}
+
+func TestFigure1CacheVsIssueWindowCrossover(t *testing.T) {
+	// The paper's Figure 1 narrative: "a reasonably sized cache is about
+	// two times slower than the Issue Window in 0.25um ... but it scales
+	// much better achieving about the same access time ... in 0.06um".
+	iw := IssueWindowLatency(128, 6, Node250)
+	dc := CacheLatency(64<<10, 4, 2, Node250)
+	if r := dc / iw; r < 1.7 || r > 2.4 {
+		t.Errorf("0.25um D-cache/IW latency ratio = %.2f, want ~2", r)
+	}
+	iw = IssueWindowLatency(128, 6, Node60)
+	ic := CacheLatency(64<<10, 2, 1, Node60)
+	if r := ic / iw; r < 0.85 || r > 1.2 {
+		t.Errorf("0.06um cache/IW latency ratio = %.2f, want ~1 (converged)", r)
+	}
+}
+
+func TestLatenciesMonotoneInNode(t *testing.T) {
+	// Every structure gets faster as feature size shrinks.
+	fns := map[string]func(Node) float64{
+		"iw":    func(n Node) float64 { return IssueWindowLatency(128, 6, n) },
+		"cache": func(n Node) float64 { return CacheLatency(64<<10, 2, 1, n) },
+		"ec":    func(n Node) float64 { return ExecutionCacheLatency(128<<10, 2, n) },
+		"rf":    func(n Node) float64 { return RegFileLatency(192, n) },
+	}
+	for name, f := range fns {
+		prev := 0.0
+		for i, n := range Nodes { // Nodes are largest-first
+			lat := f(n)
+			if i > 0 && lat >= prev {
+				t.Errorf("%s latency not decreasing at %v: %.0f >= %.0f", name, n, lat, prev)
+			}
+			prev = lat
+		}
+	}
+}
+
+func TestLatenciesMonotoneInSize(t *testing.T) {
+	if IssueWindowLatency(64, 4, Node130) >= IssueWindowLatency(128, 6, Node130) {
+		t.Error("smaller issue window not faster")
+	}
+	if CacheLatency(32<<10, 2, 1, Node130) >= CacheLatency(64<<10, 2, 1, Node130) {
+		t.Error("smaller cache not faster")
+	}
+	if RegFileLatency(128, Node130) >= RegFileLatency(256, Node130) {
+		t.Error("smaller register file not faster")
+	}
+	if CacheLatency(64<<10, 2, 1, Node130) >= CacheLatency(64<<10, 2, 2, Node130) {
+		t.Error("extra port costs nothing")
+	}
+}
+
+func TestWireComponentDominatesIWScaling(t *testing.T) {
+	// The issue window improves far less than a cache between 0.18 and
+	// 0.06 (wire-dominated): the speedup ratio must be clearly smaller.
+	iwGain := IssueWindowLatency(128, 6, Node180) / IssueWindowLatency(128, 6, Node60)
+	cacheGain := CacheLatency(64<<10, 2, 1, Node180) / CacheLatency(64<<10, 2, 1, Node60)
+	if iwGain >= cacheGain*0.8 {
+		t.Errorf("IW gain %.2fx vs cache gain %.2fx: wire limitation not visible", iwGain, cacheGain)
+	}
+}
+
+func TestSpeedHeadroomAtFinestNode(t *testing.T) {
+	// §4: at 0.06um the front-end supports ~2x the IW frequency, the
+	// execution core ~1.5x.
+	h := SpeedHeadroom(Node60)
+	if h.FrontEnd < 1.8 || h.FrontEnd > 2.2 {
+		t.Errorf("front-end headroom at 0.06um = %.2f, want ~2.0", h.FrontEnd)
+	}
+	if h.BackEnd < 1.35 || h.BackEnd > 1.65 {
+		t.Errorf("back-end headroom at 0.06um = %.2f, want ~1.5", h.BackEnd)
+	}
+}
+
+func TestFigure1CurvesComplete(t *testing.T) {
+	curves := Figure1()
+	if len(curves) != 6 {
+		t.Fatalf("curve count = %d, want 6", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.LatencyPS) != len(Nodes) {
+			t.Errorf("curve %q has %d points, want %d", c.Label, len(c.LatencyPS), len(Nodes))
+		}
+		for i, v := range c.LatencyPS {
+			if v <= 0 {
+				t.Errorf("curve %q point %d non-positive", c.Label, i)
+			}
+		}
+	}
+}
+
+func TestBaselinePeriod(t *testing.T) {
+	// 950 MHz at 0.18um -> ~1053 ps.
+	p := BaselinePeriodPS(Node180)
+	if p < 1000 || p > 1110 {
+		t.Errorf("baseline period at 0.18um = %d ps, want ~1053", p)
+	}
+	if BaselinePeriodPS(Node60) >= p {
+		t.Error("baseline period did not shrink with technology")
+	}
+}
+
+func TestFrequencyMHz(t *testing.T) {
+	if got := FrequencyMHz(1000, 1); got != 1000 {
+		t.Errorf("1ns single-cycle = %.0f MHz, want 1000", got)
+	}
+	if got := FrequencyMHz(2000, 2); got != 1000 {
+		t.Errorf("2ns two-cycle = %.0f MHz, want 1000", got)
+	}
+	if FrequencyMHz(0, 1) != 0 {
+		t.Error("zero latency not guarded")
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	if Node130.String() != "0.13um" {
+		t.Errorf("node name = %q", Node130.String())
+	}
+	if Node(0.045).String() != "0.04um" && Node(0.045).String() != "0.05um" {
+		t.Errorf("fallback name = %q", Node(0.045).String())
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flywheel/internal/isa"
+)
+
+func addTo(rd int) isa.Instruction {
+	return isa.Instruction{Op: isa.ADD, Rd: isa.IntReg(rd), Rs1: isa.IntReg(2), Rs2: isa.IntReg(3)}
+}
+
+func TestRenamerPoolExhaustion(t *testing.T) {
+	cfg := PoolConfig{TotalRegs: 256, MinPool: 2, MaxPool: 8} // 4 per register
+	r := NewRenamer(cfg)
+	rd := isa.IntReg(5)
+	in := addTo(5)
+	// Pool of 4: up to 3 in-flight destinations.
+	for i := 0; i < 3; i++ {
+		if !r.CanRename(rd) {
+			t.Fatalf("rename %d rejected with pool of 4", i)
+		}
+		r.Rename(in)
+	}
+	if r.CanRename(rd) {
+		t.Error("4th in-flight destination accepted (must keep committed entry)")
+	}
+	r.RetireDest(rd, 1)
+	if !r.CanRename(rd) {
+		t.Error("rename still blocked after retirement freed an entry")
+	}
+}
+
+func TestRenamerLIDsSequentialAndWrapping(t *testing.T) {
+	r := NewRenamer(DefaultPoolConfig()) // 8 per register
+	in := addTo(7)
+	var lids []uint16
+	for i := 0; i < 7; i++ {
+		lid := r.Rename(in)
+		lids = append(lids, lid[0])
+		r.RetireDest(isa.IntReg(7), lid[0])
+	}
+	// head starts at 0; first destination gets LID 1, wrapping mod 8.
+	want := []uint16{1, 2, 3, 4, 5, 6, 7}
+	for i := range want {
+		if lids[i] != want[i] {
+			t.Errorf("lid[%d] = %d, want %d", i, lids[i], want[i])
+		}
+	}
+	lid := r.Rename(in)
+	if lid[0] != 0 {
+		t.Errorf("wrapped lid = %d, want 0", lid[0])
+	}
+}
+
+func TestRenamerSourceLIDsTrackLastWriter(t *testing.T) {
+	r := NewRenamer(DefaultPoolConfig())
+	w := addTo(4)
+	lid := r.Rename(w)
+	read := isa.Instruction{Op: isa.ADD, Rd: isa.IntReg(6), Rs1: isa.IntReg(4), Rs2: isa.IntReg(5)}
+	got := r.Rename(read)
+	if got[1] != lid[0] {
+		t.Errorf("source lid = %d, want writer's %d", got[1], lid[0])
+	}
+	if got[2] != 0 {
+		t.Errorf("untouched source lid = %d, want 0", got[2])
+	}
+}
+
+func TestRenamerTraceResetRestartsLIDs(t *testing.T) {
+	r := NewRenamer(DefaultPoolConfig())
+	in := addTo(9)
+	first := r.Rename(in)
+	r.RetireDest(isa.IntReg(9), first[0])
+	r.CheckpointFRT()
+	second := r.Rename(in)
+	if second[0] != first[0] {
+		t.Errorf("after checkpoint, first lid = %d, want %d (restart from zero)", second[0], first[0])
+	}
+}
+
+func TestRenamerCheckpointMapsLIDZeroToCommitted(t *testing.T) {
+	// After a checkpoint, physical(reg, 0) must equal the physical
+	// register holding the last committed value.
+	r := NewRenamer(DefaultPoolConfig())
+	in := addTo(3)
+	rd := isa.IntReg(3)
+	var lastPO uint16
+	for i := 0; i < 5; i++ {
+		lid := r.Rename(in)
+		lastPO = r.physical(rd, lid[0])
+		r.RetireDest(rd, lid[0])
+	}
+	r.CheckpointFRT()
+	if got := r.physical(rd, 0); got != lastPO {
+		t.Errorf("physical(rd, 0) = %d after checkpoint, want %d", got, lastPO)
+	}
+}
+
+func TestRenamerSRTSwapEquivalentToFRTForCleanTrace(t *testing.T) {
+	// When every instruction of the trace retires, SRT and FRT agree, so
+	// the one-cycle swap gives the same mapping as the retirement path.
+	a := NewRenamer(DefaultPoolConfig())
+	b := NewRenamer(DefaultPoolConfig())
+	in := addTo(6)
+	rd := isa.IntReg(6)
+	for i := 0; i < 4; i++ {
+		la := a.Rename(in)
+		lb := b.Rename(in)
+		a.UpdateSRT(rd, la[0])
+		b.UpdateSRT(rd, lb[0])
+		a.RetireDest(rd, la[0])
+		b.RetireDest(rd, lb[0])
+	}
+	a.CheckpointFRT()
+	b.CheckpointSRT()
+	if a.physical(rd, 0) != b.physical(rd, 0) {
+		t.Errorf("FRT and SRT checkpoints disagree: %d vs %d", a.physical(rd, 0), b.physical(rd, 0))
+	}
+}
+
+func TestRenamerRotationProperty(t *testing.T) {
+	// Property: for any sequence of renames+retirements followed by a
+	// checkpoint, renaming k fresh destinations gives physical offsets
+	// that never collide with the committed entry until the pool wraps.
+	f := func(nOps uint8) bool {
+		r := NewRenamer(DefaultPoolConfig())
+		rd := isa.IntReg(11)
+		in := addTo(11)
+		n := int(nOps%20) + 1
+		var lid uint16
+		for i := 0; i < n; i++ {
+			l := r.Rename(in)
+			lid = l[0]
+			r.RetireDest(rd, lid)
+		}
+		r.CheckpointFRT()
+		committed := r.physical(rd, 0)
+		size := r.PoolSize(rd)
+		for i := 1; i < size; i++ {
+			l := r.Rename(in)
+			if r.physical(rd, l[0]) == committed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRedistributionMovesCapacity(t *testing.T) {
+	r := NewRenamer(PoolConfig{TotalRegs: 256, MinPool: 2, MaxPool: 8})
+	hot := isa.IntReg(5)
+	for i := 0; i < 100; i++ {
+		r.NoteStall(hot)
+	}
+	plan := r.MaybeRedistribute(50)
+	if !plan.Changed {
+		t.Fatal("redistribution did not trigger")
+	}
+	if r.PoolSize(hot) <= 4 {
+		t.Errorf("hot pool = %d, want grown above 4", r.PoolSize(hot))
+	}
+	total := 0
+	for i := 0; i < isa.NumArchRegs; i++ {
+		total += r.PoolSize(isa.Reg(i))
+	}
+	if total != 256 {
+		t.Errorf("total pool entries = %d, want conserved 256", total)
+	}
+	if r.Redistributions != 1 {
+		t.Errorf("redistributions = %d", r.Redistributions)
+	}
+}
+
+func TestRedistributionRespectsThreshold(t *testing.T) {
+	r := NewRenamer(DefaultPoolConfig())
+	r.NoteStall(isa.IntReg(5)) // one stall, below threshold
+	if plan := r.MaybeRedistribute(50); plan.Changed {
+		t.Error("redistribution triggered below threshold")
+	}
+}
+
+func TestRedistributionBounds(t *testing.T) {
+	r := NewRenamer(PoolConfig{TotalRegs: 256, MinPool: 2, MaxPool: 6})
+	hot := isa.IntReg(5)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 1000; i++ {
+			r.NoteStall(hot)
+		}
+		r.MaybeRedistribute(10)
+	}
+	if got := r.PoolSize(hot); got > 6 {
+		t.Errorf("pool grew to %d, above MaxPool 6", got)
+	}
+	for i := 0; i < isa.NumArchRegs; i++ {
+		if r.PoolSize(isa.Reg(i)) < 2 {
+			t.Errorf("pool %d shrank below MinPool", i)
+		}
+	}
+}
+
+func TestCanAcquireCountsUnitWAW(t *testing.T) {
+	r := NewRenamer(PoolConfig{TotalRegs: 256, MinPool: 2, MaxPool: 8}) // 4 per reg
+	rd := isa.IntReg(8)
+	if !r.CanAcquire(rd, 3) {
+		t.Error("3 writers rejected with pool of 4")
+	}
+	if r.CanAcquire(rd, 4) {
+		t.Error("4 writers accepted with pool of 4")
+	}
+	r.AcquireDest(rd)
+	if r.CanAcquire(rd, 3) {
+		t.Error("3 more writers accepted with 1 already in flight")
+	}
+	if r.InFlight(rd) != 1 {
+		t.Errorf("in flight = %d", r.InFlight(rd))
+	}
+}
+
+func TestR0NeverConstrains(t *testing.T) {
+	r := NewRenamer(PoolConfig{TotalRegs: 128, MinPool: 2, MaxPool: 4})
+	for i := 0; i < 100; i++ {
+		if !r.CanRename(isa.IntReg(0)) || !r.CanAcquire(isa.IntReg(0), 5) {
+			t.Fatal("r0 constrained")
+		}
+		r.AcquireDest(isa.IntReg(0))
+	}
+	if !r.CanRename(isa.RegNone) {
+		t.Error("RegNone constrained")
+	}
+}

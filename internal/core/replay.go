@@ -1,0 +1,329 @@
+package core
+
+import (
+	"flywheel/internal/emu"
+	"flywheel/internal/isa"
+	"flywheel/internal/pipe"
+)
+
+// Trace-execution mode (§3.3): the front-end and wake-up/select logic are
+// gated; issue units stream from the Execution Cache through the fill
+// buffer into the Register Update stage and the functional units, one unit
+// per cycle, VLIW-style — an issue unit only leaves when every operand is
+// ready and every functional unit is free, so replay naturally slows down
+// when cache behaviour differs from creation time.
+
+// traceRun is the replay state of one trace.
+type traceRun struct {
+	reader   Reader
+	startSeq uint64
+	// buffered holds slots delivered by the fill buffer, in issue order.
+	buffered []Slot
+	// Single outstanding block read (the data array has one read port;
+	// the two-block fill buffer hides the latency, §3.3).
+	readPending bool
+	readReadyAt int64
+	endSeen     bool
+	broken      bool
+	// blockedUntil gates the first issue after a trace-change checkpoint.
+	blockedUntil int64
+	// maxOff tracks the largest sequence offset seen (trace length guess
+	// for next-trace prefetch).
+	maxOff     uint32
+	prefetched bool
+	// successorPC is the trace's recorded follow-on address (next-trace
+	// prediction), valid once endSeen.
+	successorPC uint64
+}
+
+// done reports that no more blocks remain to read.
+func (r *traceRun) done() bool { return r.endSeen || r.broken }
+
+// fillCapSlots is how many slots the two-block fill buffer holds.
+func (c *Core) fillCapSlots() int { return 2 * c.cfg.EC.BlockSlots }
+
+// replayTick advances trace execution by one back-end edge.
+func (c *Core) replayTick(now int64) {
+	p := c.bePeriod()
+	c.pumpReads(now, p)
+	if c.draining {
+		if c.rob.Len() == 0 && now >= c.drainReadyAt {
+			c.finishDivergence(now)
+		}
+		return
+	}
+	if now < c.redistStallUntil {
+		return
+	}
+	c.prefetchNext(now)
+	c.issueUnit(now, p)
+	c.maybeFinishTrace(now, p)
+}
+
+// pumpReads completes and schedules data-array block reads. The current
+// trace has priority; the prefetched next trace reads only once the current
+// one has no more blocks to fetch.
+func (c *Core) pumpReads(now, p int64) {
+	for _, run := range []*traceRun{c.cur, c.next} {
+		if run == nil || !run.readPending || now < run.readReadyAt {
+			continue
+		}
+		run.readPending = false
+		slots, last, ok := run.reader.ReadBlock()
+		if !ok {
+			run.broken = true
+			continue
+		}
+		for _, s := range slots {
+			if s.SeqOffset > run.maxOff {
+				run.maxOff = s.SeqOffset
+			}
+		}
+		run.buffered = append(run.buffered, slots...)
+		if last {
+			run.endSeen = true
+			run.successorPC = run.reader.Successor()
+		}
+	}
+	anyPending := (c.cur != nil && c.cur.readPending) || (c.next != nil && c.next.readPending)
+	if anyPending {
+		return
+	}
+	start := func(run *traceRun) bool {
+		if run == nil || run.done() || len(run.buffered) >= c.fillCapSlots() {
+			return false
+		}
+		run.readPending = true
+		run.readReadyAt = now + int64(c.cfg.EC.ReadCycles)*p
+		return true
+	}
+	if c.cur != nil && !c.cur.done() {
+		start(c.cur)
+		return
+	}
+	start(c.next)
+}
+
+// prefetchNext looks up the follow-on trace as soon as the end-of-trace
+// marker enters the fill buffer, hiding the tag lookup and first block read
+// behind the tail of the current trace (§3.5: with the SRT the trace-change
+// penalty shrinks to about a cycle). The lookup address is the *recorded*
+// successor — a next-trace prediction: if execution actually leaves the
+// trace elsewhere, pairing detects the mismatch and charges a divergence.
+func (c *Core) prefetchNext(now int64) {
+	run := c.cur
+	if run == nil || !run.endSeen || run.prefetched || c.next != nil {
+		return
+	}
+	run.prefetched = true
+	if run.successorPC == 0 {
+		return
+	}
+	guess := run.startSeq + uint64(run.maxOff) + 1
+	if r, hit := c.ec.Lookup(run.successorPC); hit {
+		c.next = &traceRun{reader: r, startSeq: guess}
+	}
+}
+
+// issueUnit issues at most one complete issue unit.
+func (c *Core) issueUnit(now, p int64) {
+	run := c.cur
+	if run == nil || now < run.blockedUntil || len(run.buffered) == 0 {
+		return
+	}
+	// Find the unit boundary. A unit is issuable only when its end is
+	// known: either the next UnitStart is buffered or the trace has no
+	// more blocks (the paper's corner case of units split across blocks
+	// arriving late shows up here as a stall).
+	end := 1
+	for end < len(run.buffered) && !run.buffered[end].UnitStart {
+		end++
+	}
+	if end == len(run.buffered) && !run.done() {
+		c.stats.ReplayFillStalls++
+		return
+	}
+	unit := run.buffered[:end]
+
+	// Pair slots with oracle records; any PC mismatch means the trace's
+	// recorded path diverged from actual execution.
+	insts := make([]*pipe.DynInst, len(unit))
+	for i, s := range unit {
+		seq := run.startSeq + uint64(s.SeqOffset)
+		rec, ok := c.window.At(seq)
+		if !ok || c.window.Consumed(seq) || rec.PC != s.PC {
+			if debugDivergence != nil {
+				debugDivergence(run, s, rec, ok, c.window.Consumed(seq))
+			}
+			c.stats.Divergences++
+			c.startDrain(now + int64(c.cfg.DivergenceDetectCycles)*p)
+			return
+		}
+		insts[i] = pipe.NewDynInst(rec)
+		insts[i].LID = s.LID
+	}
+
+	// Structural checks for the whole unit (atomic issue).
+	memOps := 0
+	var destNeed [isa.NumArchRegs]int
+	var fuNeed [pipe.NumFUGroups]int
+	for _, d := range insts {
+		in := d.Inst()
+		if d.IsLoad() || d.IsStore() {
+			memOps++
+		}
+		if in.HasDest() {
+			destNeed[in.Rd]++
+		}
+		fuNeed[pipe.GroupOf(d.Class())]++
+	}
+	if c.rob.Len()+len(insts) > c.rob.Cap() || c.lsq.Len()+memOps > c.lsq.Cap() {
+		c.stats.ReplayStallResource++
+		return
+	}
+	for reg, n := range destNeed {
+		if n == 0 {
+			continue
+		}
+		if !c.ren.CanAcquire(isa.Reg(reg), n) {
+			c.ren.NoteStall(isa.Reg(reg))
+			c.stats.RenameStalls++
+			return
+		}
+	}
+	c.fu.BeginCycle(now)
+	for g, n := range fuNeed {
+		if n > 0 && c.fu.AvailableFor(pipe.FUGroup(g), now) < n {
+			c.stats.ReplayStallResource++
+			return
+		}
+	}
+	// Scoreboard: every operand of every slot must be ready (VLIW-style).
+	for _, d := range insts {
+		if !c.rat.SourcesReady(d, now) {
+			c.stats.ReplayStallData++
+			if debugStall != nil {
+				debugStall(c, d, now)
+			}
+			return
+		}
+	}
+
+	// Commit the unit.
+	for _, d := range insts {
+		in := d.Inst()
+		c.rat.Link(d)
+		c.rob.Push(d)
+		if d.IsLoad() || d.IsStore() {
+			c.lsq.Insert(d)
+		}
+		if in.HasDest() {
+			c.ren.AcquireDest(in.Rd)
+			c.ren.UpdateSRT(in.Rd, d.LID[0])
+		}
+		c.fu.TryReserve(d.Class(), now, p)
+		c.executeInst(d, now, p)
+		c.window.Consume(d.Seq())
+		c.stats.IssuedReplay++
+		c.stats.UpdateOps++
+		c.stats.RegReads += uint64(len(in.Sources()))
+	}
+	run.buffered = append(run.buffered[:0], run.buffered[end:]...)
+	c.stats.ReplayUnits++
+	// Forward progress: clear the failed-resume latch.
+	c.lastFailedResume = noFailedResume
+}
+
+// startDrain begins divergence handling: stop issuing, wait for the ROB to
+// empty (the mispredicted branch retires within that window) and for the
+// detection depth to elapse, then take the FRT checkpoint.
+func (c *Core) startDrain(readyAt int64) {
+	c.draining = true
+	c.drainReadyAt = readyAt
+	c.cur = nil
+	c.next = nil
+}
+
+// finishDivergence runs once the pipeline drained after a divergence.
+func (c *Core) finishDivergence(now int64) {
+	c.draining = false
+	c.ren.CheckpointFRT()
+	c.afterTraceExit(now, true)
+}
+
+// maybeFinishTrace handles clean trace ends and broken chains.
+func (c *Core) maybeFinishTrace(now, p int64) {
+	run := c.cur
+	if run == nil || len(run.buffered) != 0 || run.readPending || !run.done() {
+		return
+	}
+	if run.broken {
+		c.stats.BrokenReplays++
+	}
+	// Clean prefix consumed: the SRT matches the last updated mapping, so
+	// the one-cycle swap applies (§3.5).
+	c.ren.CheckpointSRT()
+	c.stats.TraceChanges++
+
+	if c.next != nil && !run.broken {
+		// Prefetched (speculative) follow-on trace: swap in with the
+		// one-cycle SRT penalty. If the successor prediction was wrong,
+		// the new trace's pairing will diverge immediately.
+		c.cur = c.next
+		c.next = nil
+		c.cur.blockedUntil = now + int64(c.cfg.CheckpointCycles)*p
+		return
+	}
+	c.next = nil
+	c.afterTraceExit(now, false)
+}
+
+// afterTraceExit decides where execution continues after leaving a trace:
+// another trace if the EC has one for the resume address, otherwise the
+// front-end restarts in trace-creation mode. After a divergence the resume
+// point may sit inside a partially consumed region whose stored traces can
+// never pair again; retrying the same resume point would livelock, so a
+// repeat failure forces trace creation.
+func (c *Core) afterTraceExit(now int64, diverged bool) {
+	resume, ok := c.window.NextUnconsumed()
+	if !ok {
+		c.cur, c.next = nil, nil
+		c.exitToBuild(now)
+		return
+	}
+	gateAt := now + int64(c.cfg.CheckpointCycles)*c.bePeriod()
+	retryable := true
+	if diverged {
+		if resume.Seq == c.lastFailedResume {
+			retryable = false
+		}
+		c.lastFailedResume = resume.Seq
+	}
+	if retryable {
+		if r, hit := c.ec.Lookup(resume.PC); hit {
+			c.cur = &traceRun{reader: r, startSeq: resume.Seq, blockedUntil: gateAt}
+			c.next = nil
+			if c.mode != ModeReplay {
+				c.switchMode(now, ModeReplay)
+			}
+			return
+		}
+	}
+	c.cur, c.next = nil, nil
+	c.gate(resume.Seq, gateAt)
+	c.exitToBuild(now)
+}
+
+// exitToBuild returns to trace-creation mode at the resume point.
+func (c *Core) exitToBuild(now int64) {
+	c.switchMode(now, ModeBuild)
+	c.builder = nil // the next dispatch opens a fresh trace
+	c.sealing = false
+	c.fetchStallUntil = now + int64(c.cfg.RedirectCycles)*c.fe.Period()
+}
+
+// debugDivergence, when non-nil, observes every divergence (test hook).
+var debugDivergence func(run *traceRun, s Slot, rec emu.Trace, ok, consumed bool)
+
+// debugStall, when non-nil, observes scoreboard stalls (test hook).
+var debugStall func(c *Core, d *pipe.DynInst, now int64)

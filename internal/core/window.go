@@ -1,0 +1,163 @@
+package core
+
+import (
+	"flywheel/internal/emu"
+)
+
+// oracleWindow buffers the architectural oracle's dynamic instruction
+// stream so it can be consumed out of program order. Trace replay pairs
+// Execution Cache slots (stored in issue order) with oracle records by
+// dynamic sequence number; the front-end path consumes the oldest
+// unconsumed record. When a replay aborts mid-trace, the already-executed
+// (consumed) records stay consumed and the skipped ones are delivered to
+// the restarted front-end in order.
+type oracleWindow struct {
+	stream   *emu.Stream
+	base     uint64 // sequence number of entries[0]
+	entries  []emu.Trace
+	consumed []bool
+	drained  bool
+	// requeue holds records handed back by a front-end squash after their
+	// window slots were compacted away (divergences can scatter consumed
+	// holes across a wide range). Served oldest-first before the window.
+	requeue []emu.Trace
+}
+
+func newOracleWindow(stream *emu.Stream) *oracleWindow {
+	return &oracleWindow{stream: stream}
+}
+
+// appendRecord buffers one stream record. The window is anchored at the
+// first record's sequence number — warm-up fast-forwarding means dynamic
+// streams rarely start at zero.
+func (w *oracleWindow) appendRecord(tr emu.Trace) {
+	if len(w.entries) == 0 {
+		w.base = tr.Seq
+	}
+	w.entries = append(w.entries, tr)
+	w.consumed = append(w.consumed, false)
+}
+
+// fillTo extends the window so that seq is buffered; it reports false when
+// the stream ends first.
+func (w *oracleWindow) fillTo(seq uint64) bool {
+	for len(w.entries) == 0 || w.base+uint64(len(w.entries)) <= seq {
+		tr, ok := w.stream.Next()
+		if !ok {
+			w.drained = true
+			return false
+		}
+		w.appendRecord(tr)
+	}
+	return true
+}
+
+// At returns the record with the given sequence number, extending the
+// window as needed. ok is false past the end of the program.
+func (w *oracleWindow) At(seq uint64) (emu.Trace, bool) {
+	if seq < w.base {
+		return emu.Trace{}, false // already compacted away: caller bug
+	}
+	if !w.fillTo(seq) {
+		return emu.Trace{}, false
+	}
+	return w.entries[seq-w.base], true
+}
+
+// Consumed reports whether seq has been consumed already.
+func (w *oracleWindow) Consumed(seq uint64) bool {
+	if seq < w.base {
+		return true
+	}
+	i := seq - w.base
+	return i < uint64(len(w.consumed)) && w.consumed[i]
+}
+
+// Consume marks seq as delivered to the machine.
+func (w *oracleWindow) Consume(seq uint64) {
+	if seq < w.base {
+		return
+	}
+	i := seq - w.base
+	if i < uint64(len(w.consumed)) {
+		w.consumed[i] = true
+	}
+	w.compact()
+}
+
+// Unconsume returns a record to the window (front-end squash on a mode
+// switch). Records whose slots were already compacted away go onto the
+// requeue list and are served back, oldest first, before the main window.
+func (w *oracleWindow) Unconsume(tr emu.Trace) {
+	if tr.Seq < w.base {
+		// Insert in ascending sequence order (the list stays tiny: at most
+		// one front queue of entries).
+		at := len(w.requeue)
+		for at > 0 && w.requeue[at-1].Seq > tr.Seq {
+			at--
+		}
+		w.requeue = append(w.requeue, emu.Trace{})
+		copy(w.requeue[at+1:], w.requeue[at:])
+		w.requeue[at] = tr
+		return
+	}
+	if i := tr.Seq - w.base; i < uint64(len(w.consumed)) {
+		w.consumed[i] = false
+	}
+}
+
+// NextUnconsumed returns the oldest unconsumed record without consuming it.
+func (w *oracleWindow) NextUnconsumed() (emu.Trace, bool) {
+	if len(w.requeue) > 0 {
+		return w.requeue[0], true
+	}
+	for i := range w.entries {
+		if !w.consumed[i] {
+			return w.entries[i], true
+		}
+	}
+	// Everything buffered was consumed: pull fresh records.
+	tr, ok := w.stream.Next()
+	if !ok {
+		w.drained = true
+		return emu.Trace{}, false
+	}
+	w.appendRecord(tr)
+	return tr, true
+}
+
+// Next implements the pipe.InstSource contract for the front-end fetcher:
+// deliver and consume the oldest unconsumed record.
+func (w *oracleWindow) Next() (emu.Trace, bool) {
+	if len(w.requeue) > 0 {
+		tr := w.requeue[0]
+		copy(w.requeue, w.requeue[1:])
+		w.requeue = w.requeue[:len(w.requeue)-1]
+		return tr, true
+	}
+	tr, ok := w.NextUnconsumed()
+	if ok {
+		w.Consume(tr.Seq)
+	}
+	return tr, ok
+}
+
+// Drained reports that the underlying stream ended.
+func (w *oracleWindow) Drained() bool { return w.drained }
+
+// compact drops the fully consumed prefix to bound memory. The retained
+// margin must exceed everything a mode switch can hand back to the window:
+// the front queue, the fetcher lookahead and one fetch group.
+func (w *oracleWindow) compact() {
+	const margin = 128
+	n := 0
+	for n < len(w.consumed) && w.consumed[n] {
+		n++
+	}
+	if n > 4*margin {
+		drop := n - margin
+		w.base += uint64(drop)
+		w.entries = append(w.entries[:0], w.entries[drop:]...)
+		w.consumed = append(w.consumed[:0], w.consumed[drop:]...)
+	}
+}

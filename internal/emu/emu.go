@@ -1,0 +1,306 @@
+// Package emu implements the architectural (functional) emulator for the
+// flywheel ISA. It is the golden model: the timing simulators in packages
+// ooo and core are execution-driven, consuming the dynamic instruction
+// stream this emulator produces, and the test suite checks that all three
+// agree on final architectural state.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/isa"
+	"flywheel/internal/mem"
+)
+
+// Machine is the architectural state of one program run.
+type Machine struct {
+	Prog    *asm.Program
+	PC      uint64
+	IntRegs [isa.NumIntRegs]uint64
+	FPRegs  [isa.NumFPRegs]float64
+	Mem     *mem.Memory
+	Halted  bool
+	// Retired counts executed instructions.
+	Retired uint64
+}
+
+// New loads the program image into a fresh machine.
+func New(p *asm.Program) *Machine {
+	m := &Machine{Prog: p, PC: p.Entry, Mem: mem.NewMemory()}
+	// Load the code image so the I-side of the timing models can treat
+	// fetches as real memory reads.
+	code := make([]byte, 0, len(p.Code)*isa.InstBytes)
+	for _, in := range p.Code {
+		w := isa.MustEncode(in)
+		code = append(code, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	m.Mem.WriteBytes(asm.CodeBase, code)
+	if len(p.Data) > 0 {
+		m.Mem.WriteBytes(asm.DataBase, p.Data)
+	}
+	// Give programs a stack: sp (r29) starts high and grows down.
+	m.IntRegs[29] = StackTop
+	return m
+}
+
+// StackTop is the initial stack pointer handed to programs.
+const StackTop uint64 = 0x0100_0000
+
+// Trace is the record of one executed instruction — the oracle information
+// the timing simulators need: control-flow outcome, memory address, and the
+// instruction itself (register dependencies).
+type Trace struct {
+	Seq    uint64 // dynamic instruction number, starting at 0
+	PC     uint64
+	Inst   isa.Instruction
+	NextPC uint64 // architecturally correct next PC
+	Taken  bool   // branches: true when the branch was taken
+	Addr   uint64 // loads/stores: effective address
+}
+
+// IsMispredictable reports whether this instruction's outcome depends on
+// dynamic state a predictor must guess (conditional direction or indirect
+// target).
+func (t Trace) IsMispredictable() bool {
+	return t.Inst.Class() == isa.ClassBranch || t.Inst.Op == isa.JALR
+}
+
+// ReadReg returns the current value of an architected register as raw bits.
+func (m *Machine) ReadReg(r isa.Reg) uint64 {
+	switch {
+	case r == isa.RegNone:
+		return 0
+	case r.IsFP():
+		return math.Float64bits(m.FPRegs[r-isa.NumIntRegs])
+	case r == 0:
+		return 0
+	default:
+		return m.IntRegs[r]
+	}
+}
+
+// WriteReg sets an architected register from raw bits. Writes to r0 and
+// RegNone are ignored.
+func (m *Machine) WriteReg(r isa.Reg, bits uint64) {
+	switch {
+	case r == isa.RegNone || r == 0:
+	case r.IsFP():
+		m.FPRegs[r-isa.NumIntRegs] = math.Float64frombits(bits)
+	default:
+		m.IntRegs[r] = bits
+	}
+}
+
+// Step executes one instruction and returns its trace record.
+// Calling Step on a halted machine is an error.
+func (m *Machine) Step() (Trace, error) {
+	if m.Halted {
+		return Trace{}, fmt.Errorf("emu: step after halt at pc %#x", m.PC)
+	}
+	in, ok := m.Prog.InstAt(m.PC)
+	if !ok {
+		return Trace{}, fmt.Errorf("emu: pc %#x outside code section", m.PC)
+	}
+	tr := Trace{Seq: m.Retired, PC: m.PC, Inst: in, NextPC: m.PC + isa.InstBytes}
+
+	ri := func(r isa.Reg) int64 { return int64(m.ReadReg(r)) }
+	ru := func(r isa.Reg) uint64 { return m.ReadReg(r) }
+	rf := func(r isa.Reg) float64 { return math.Float64frombits(m.ReadReg(r)) }
+	wi := func(v int64) { m.WriteReg(in.Rd, uint64(v)) }
+	wf := func(v float64) { m.WriteReg(in.Rd, math.Float64bits(v)) }
+	branch := func(cond bool) {
+		tr.Taken = cond
+		if cond {
+			tr.NextPC = m.PC + uint64(int64(in.Imm))*isa.InstBytes
+		}
+	}
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD:
+		wi(ri(in.Rs1) + ri(in.Rs2))
+	case isa.SUB:
+		wi(ri(in.Rs1) - ri(in.Rs2))
+	case isa.AND:
+		wi(ri(in.Rs1) & ri(in.Rs2))
+	case isa.OR:
+		wi(ri(in.Rs1) | ri(in.Rs2))
+	case isa.XOR:
+		wi(ri(in.Rs1) ^ ri(in.Rs2))
+	case isa.SLL:
+		wi(int64(ru(in.Rs1) << (ru(in.Rs2) & 63)))
+	case isa.SRL:
+		wi(int64(ru(in.Rs1) >> (ru(in.Rs2) & 63)))
+	case isa.SRA:
+		wi(ri(in.Rs1) >> (ru(in.Rs2) & 63))
+	case isa.SLT:
+		wi(boolToInt(ri(in.Rs1) < ri(in.Rs2)))
+	case isa.SLTU:
+		wi(boolToInt(ru(in.Rs1) < ru(in.Rs2)))
+	case isa.ADDI:
+		wi(ri(in.Rs1) + int64(in.Imm))
+	case isa.ANDI:
+		wi(ri(in.Rs1) & int64(in.Imm))
+	case isa.ORI:
+		wi(ri(in.Rs1) | int64(in.Imm))
+	case isa.XORI:
+		wi(ri(in.Rs1) ^ int64(in.Imm))
+	case isa.SLTI:
+		wi(boolToInt(ri(in.Rs1) < int64(in.Imm)))
+	case isa.SLLI:
+		wi(int64(ru(in.Rs1) << (uint64(in.Imm) & 63)))
+	case isa.SRLI:
+		wi(int64(ru(in.Rs1) >> (uint64(in.Imm) & 63)))
+	case isa.SRAI:
+		wi(ri(in.Rs1) >> (uint64(in.Imm) & 63))
+	case isa.LUI:
+		wi(int64(in.Imm) << 12)
+	case isa.MUL:
+		wi(ri(in.Rs1) * ri(in.Rs2))
+	case isa.DIV:
+		d := ri(in.Rs2)
+		if d == 0 {
+			wi(-1) // divide by zero: all ones, RISC-V style
+		} else {
+			wi(ri(in.Rs1) / d)
+		}
+	case isa.REM:
+		d := ri(in.Rs2)
+		if d == 0 {
+			wi(ri(in.Rs1))
+		} else {
+			wi(ri(in.Rs1) % d)
+		}
+	case isa.LD, isa.LW, isa.LB, isa.FLD:
+		tr.Addr = uint64(ri(in.Rs1) + int64(in.Imm))
+		v := m.Mem.Read(tr.Addr, in.MemWidth())
+		if in.Op == isa.FLD {
+			m.WriteReg(in.Rd, v)
+		} else {
+			wi(int64(v)) // loads zero-extend
+		}
+	case isa.SD, isa.SW, isa.SB, isa.FSD:
+		tr.Addr = uint64(ri(in.Rs1) + int64(in.Imm))
+		m.Mem.Write(tr.Addr, in.MemWidth(), ru(in.Rs2))
+	case isa.BEQ:
+		branch(ri(in.Rs1) == ri(in.Rs2))
+	case isa.BNE:
+		branch(ri(in.Rs1) != ri(in.Rs2))
+	case isa.BLT:
+		branch(ri(in.Rs1) < ri(in.Rs2))
+	case isa.BGE:
+		branch(ri(in.Rs1) >= ri(in.Rs2))
+	case isa.J:
+		tr.Taken = true
+		tr.NextPC = m.PC + uint64(int64(in.Imm))*isa.InstBytes
+	case isa.JAL:
+		tr.Taken = true
+		wi(int64(m.PC + isa.InstBytes))
+		tr.NextPC = m.PC + uint64(int64(in.Imm))*isa.InstBytes
+	case isa.JALR:
+		tr.Taken = true
+		target := ru(in.Rs1) &^ 3
+		wi(int64(m.PC + isa.InstBytes))
+		tr.NextPC = target
+	case isa.FADD:
+		wf(rf(in.Rs1) + rf(in.Rs2))
+	case isa.FSUB:
+		wf(rf(in.Rs1) - rf(in.Rs2))
+	case isa.FMUL:
+		wf(rf(in.Rs1) * rf(in.Rs2))
+	case isa.FDIV:
+		wf(rf(in.Rs1) / rf(in.Rs2))
+	case isa.FNEG:
+		wf(-rf(in.Rs1))
+	case isa.FMOV:
+		wf(rf(in.Rs1))
+	case isa.FCVTIF:
+		wf(float64(ri(in.Rs1)))
+	case isa.FCVTFI:
+		wi(int64(rf(in.Rs1)))
+	case isa.FLT:
+		wi(boolToInt(rf(in.Rs1) < rf(in.Rs2)))
+	case isa.FEQ:
+		wi(boolToInt(rf(in.Rs1) == rf(in.Rs2)))
+	case isa.HALT:
+		m.Halted = true
+		tr.NextPC = m.PC
+	default:
+		return Trace{}, fmt.Errorf("emu: unimplemented op %v at pc %#x", in.Op, m.PC)
+	}
+
+	m.PC = tr.NextPC
+	m.Retired++
+	return tr, nil
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes until halt or until limit instructions have retired.
+// It returns the number of instructions retired.
+func (m *Machine) Run(limit uint64) (uint64, error) {
+	start := m.Retired
+	for !m.Halted && m.Retired-start < limit {
+		if _, err := m.Step(); err != nil {
+			return m.Retired - start, err
+		}
+	}
+	return m.Retired - start, nil
+}
+
+// RunUntil executes until the PC first reaches target (the paper's
+// fast-forward over initialization), until halt, or until limit
+// instructions. It reports the number of instructions executed.
+func (m *Machine) RunUntil(target uint64, limit uint64) (uint64, error) {
+	start := m.Retired
+	for !m.Halted && m.PC != target && m.Retired-start < limit {
+		if _, err := m.Step(); err != nil {
+			return m.Retired - start, err
+		}
+	}
+	return m.Retired - start, nil
+}
+
+// Stream adapts a Machine into the dynamic-trace iterator consumed by the
+// timing simulators.
+type Stream struct {
+	m     *Machine
+	limit uint64
+	err   error
+}
+
+// NewStream returns a stream producing at most limit dynamic instructions
+// (0 means unlimited: run to halt).
+func NewStream(m *Machine, limit uint64) *Stream {
+	return &Stream{m: m, limit: limit}
+}
+
+// Next returns the next dynamic instruction. ok is false once the machine
+// halted, the limit was reached, or an error occurred (see Err).
+func (s *Stream) Next() (Trace, bool) {
+	if s.err != nil || s.m.Halted {
+		return Trace{}, false
+	}
+	if s.limit > 0 && s.m.Retired >= s.limit {
+		return Trace{}, false
+	}
+	tr, err := s.m.Step()
+	if err != nil {
+		s.err = err
+		return Trace{}, false
+	}
+	return tr, true
+}
+
+// Err reports a stream-terminating execution error, if any.
+func (s *Stream) Err() error { return s.err }
+
+// Machine exposes the underlying machine (for end-state checks).
+func (s *Stream) Machine() *Machine { return s.m }

@@ -1,0 +1,383 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/isa"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	p, err := asm.Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(p)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Halted {
+		t.Fatal("program did not halt within 1M instructions")
+	}
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+	li r1, 7
+	li r2, 3
+	add r3, r1, r2    ; 10
+	sub r4, r1, r2    ; 4
+	mul r5, r1, r2    ; 21
+	div r6, r1, r2    ; 2
+	rem r7, r1, r2    ; 1
+	and r8, r1, r2    ; 3
+	or  r9, r1, r2    ; 7
+	xor r10, r1, r2   ; 4
+	sll r11, r1, r2   ; 56
+	srl r12, r1, r2   ; 0
+	slt r13, r2, r1   ; 1
+	halt
+`)
+	want := map[int]uint64{3: 10, 4: 4, 5: 21, 6: 2, 7: 1, 8: 3, 9: 7, 10: 4, 11: 56, 12: 0, 13: 1}
+	for r, v := range want {
+		if got := m.IntRegs[r]; got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	m := run(t, `
+	li r1, -8
+	li r2, 3
+	div r3, r1, r2    ; -2
+	rem r4, r1, r2    ; -2
+	srai r5, r1, 1    ; -4
+	srli r6, r1, 60   ; 15
+	slt r7, r1, r2    ; 1
+	sltu r8, r1, r2   ; 0 (-8 unsigned is huge)
+	halt
+`)
+	if got := int64(m.IntRegs[3]); got != -2 {
+		t.Errorf("div = %d, want -2", got)
+	}
+	if got := int64(m.IntRegs[4]); got != -2 {
+		t.Errorf("rem = %d, want -2", got)
+	}
+	if got := int64(m.IntRegs[5]); got != -4 {
+		t.Errorf("srai = %d, want -4", got)
+	}
+	if got := m.IntRegs[6]; got != 15 {
+		t.Errorf("srli = %d, want 15", got)
+	}
+	if m.IntRegs[7] != 1 || m.IntRegs[8] != 0 {
+		t.Errorf("slt/sltu = %d/%d, want 1/0", m.IntRegs[7], m.IntRegs[8])
+	}
+}
+
+func TestDivideByZero(t *testing.T) {
+	m := run(t, `
+	li r1, 9
+	li r2, 0
+	div r3, r1, r2
+	rem r4, r1, r2
+	halt
+`)
+	if got := int64(m.IntRegs[3]); got != -1 {
+		t.Errorf("div/0 = %d, want -1", got)
+	}
+	if got := m.IntRegs[4]; got != 9 {
+		t.Errorf("rem/0 = %d, want 9", got)
+	}
+}
+
+func TestR0IsZero(t *testing.T) {
+	m := run(t, `
+	li r1, 5
+	add r0, r1, r1   ; write to r0 discarded
+	add r2, r0, r0
+	halt
+`)
+	if m.IntRegs[0] != 0 {
+		t.Errorf("r0 = %d, want 0", m.IntRegs[0])
+	}
+	if m.IntRegs[2] != 0 {
+		t.Errorf("r2 = %d, want 0", m.IntRegs[2])
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	m := run(t, `
+	la r1, tbl
+	ld r2, 0(r1)     ; 11
+	ld r3, 8(r1)     ; 22
+	add r4, r2, r3
+	sd r4, 16(r1)
+	lw r5, 0(r1)
+	lb r6, 0(r1)
+	sb r6, 24(r1)
+	sw r5, 32(r1)
+	halt
+.data
+tbl:
+	.word 11, 22, 0, 0, 0
+`)
+	base := m.Prog.Symbols["tbl"]
+	if got := m.Mem.Read(base+16, 8); got != 33 {
+		t.Errorf("stored sum = %d, want 33", got)
+	}
+	if got := m.IntRegs[5]; got != 11 {
+		t.Errorf("lw = %d, want 11", got)
+	}
+	if got := m.Mem.Read(base+24, 1); got != 11 {
+		t.Errorf("sb = %d, want 11", got)
+	}
+	if got := m.Mem.Read(base+32, 4); got != 11 {
+		t.Errorf("sw = %d, want 11", got)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 with a countdown loop.
+	m := run(t, `
+	li r1, 10
+	li r2, 0
+loop:
+	add r2, r2, r1
+	addi r1, r1, -1
+	bnez r1, loop
+	halt
+`)
+	if got := m.IntRegs[2]; got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m := run(t, `
+	li r4, 5
+	call double
+	mv r6, r5
+	call double2   ; returns r5 = r4*4 via nested calls? no: doubles r6
+	halt
+double:
+	add r5, r4, r4
+	ret
+double2:
+	add r5, r6, r6
+	ret
+`)
+	if got := m.IntRegs[5]; got != 20 {
+		t.Errorf("r5 = %d, want 20", got)
+	}
+}
+
+func TestNestedCallsWithStack(t *testing.T) {
+	// fib(10) = 55 with a recursive implementation using the stack.
+	m := run(t, `
+.global main
+main:
+	li  r4, 10
+	call fib
+	halt
+; fib(n in r4) -> r5
+fib:
+	slti r6, r4, 2
+	beqz r6, rec
+	mv   r5, r4
+	ret
+rec:
+	addi sp, sp, -24
+	sd   ra, 0(sp)
+	sd   r4, 8(sp)
+	addi r4, r4, -1
+	call fib
+	sd   r5, 16(sp)
+	ld   r4, 8(sp)
+	addi r4, r4, -2
+	call fib
+	ld   r6, 16(sp)
+	add  r5, r5, r6
+	ld   ra, 0(sp)
+	addi sp, sp, 24
+	ret
+`)
+	if got := m.IntRegs[5]; got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := run(t, `
+	la  r1, vals
+	fld f1, 0(r1)
+	fld f2, 8(r1)
+	fadd f3, f1, f2
+	fmul f4, f1, f2
+	fsub f5, f1, f2
+	fdiv f6, f1, f2
+	fneg f7, f1
+	flt r2, f2, f1
+	feq r3, f1, f1
+	li  r4, 3
+	fcvtif f8, r4
+	fcvtfi r5, f4
+	fsd f3, 16(r1)
+	halt
+.data
+vals:
+	.double 2.5, 1.5, 0.0
+`)
+	if got := m.FPRegs[3]; got != 4.0 {
+		t.Errorf("fadd = %v, want 4.0", got)
+	}
+	if got := m.FPRegs[4]; got != 3.75 {
+		t.Errorf("fmul = %v, want 3.75", got)
+	}
+	if got := m.FPRegs[6]; math.Abs(got-2.5/1.5) > 1e-15 {
+		t.Errorf("fdiv = %v", got)
+	}
+	if got := m.FPRegs[7]; got != -2.5 {
+		t.Errorf("fneg = %v, want -2.5", got)
+	}
+	if m.IntRegs[2] != 1 || m.IntRegs[3] != 1 {
+		t.Errorf("flt/feq = %d/%d, want 1/1", m.IntRegs[2], m.IntRegs[3])
+	}
+	if got := m.FPRegs[8]; got != 3.0 {
+		t.Errorf("fcvtif = %v, want 3.0", got)
+	}
+	if got := m.IntRegs[5]; got != 3 {
+		t.Errorf("fcvtfi = %d, want 3", got)
+	}
+	base := m.Prog.Symbols["vals"]
+	if got := math.Float64frombits(m.Mem.Read(base+16, 8)); got != 4.0 {
+		t.Errorf("fsd = %v, want 4.0", got)
+	}
+}
+
+func TestTraceRecords(t *testing.T) {
+	p := asm.MustAssemble("t.s", `
+	li r1, 2
+loop:
+	addi r1, r1, -1
+	bnez r1, loop
+	ld r2, 0(r3)
+	halt
+`)
+	m := New(p)
+	var traces []Trace
+	for !m.Halted {
+		tr, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	// li, addi, bne(taken), addi, bne(not taken), ld, halt
+	if len(traces) != 7 {
+		t.Fatalf("trace count = %d, want 7", len(traces))
+	}
+	br1, br2 := traces[2], traces[4]
+	if !br1.Taken || br1.NextPC != br1.PC-4 {
+		t.Errorf("taken branch trace = %+v", br1)
+	}
+	if br2.Taken || br2.NextPC != br2.PC+4 {
+		t.Errorf("fall-through branch trace = %+v", br2)
+	}
+	if !br1.IsMispredictable() {
+		t.Error("branch not flagged mispredictable")
+	}
+	ld := traces[5]
+	if ld.Addr != 0 || ld.Inst.Op != isa.LD {
+		t.Errorf("load trace = %+v", ld)
+	}
+	for i, tr := range traces {
+		if tr.Seq != uint64(i) {
+			t.Errorf("trace %d has seq %d", i, tr.Seq)
+		}
+	}
+}
+
+func TestStepAfterHaltFails(t *testing.T) {
+	m := run(t, "\thalt\n")
+	if _, err := m.Step(); err == nil {
+		t.Error("step after halt succeeded")
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	p := asm.MustAssemble("t.s", "\tjr r1\n\thalt\n") // r1 = 0 -> bad PC
+	m := New(p)
+	if _, err := m.Step(); err != nil {
+		t.Fatalf("jr itself failed: %v", err)
+	}
+	if _, err := m.Step(); err == nil {
+		t.Error("fetch from pc 0 succeeded")
+	}
+}
+
+func TestStream(t *testing.T) {
+	p := asm.MustAssemble("t.s", `
+	li r1, 100
+loop:
+	addi r1, r1, -1
+	bnez r1, loop
+	halt
+`)
+	s := NewStream(New(p), 10)
+	n := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("limited stream yielded %d, want 10", n)
+	}
+	if s.Err() != nil {
+		t.Errorf("stream error: %v", s.Err())
+	}
+
+	// Unlimited stream runs to halt: 1 + 100*2 + 1 instructions.
+	s = NewStream(New(p), 0)
+	n = 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 202 {
+		t.Errorf("full stream yielded %d, want 202", n)
+	}
+	if !s.Machine().Halted {
+		t.Error("machine not halted at stream end")
+	}
+}
+
+func TestCodeImageLoaded(t *testing.T) {
+	p := asm.MustAssemble("t.s", "\taddi r1, r0, 7\n\thalt\n")
+	m := New(p)
+	w := uint32(m.Mem.Read(asm.CodeBase, 4))
+	in, err := isa.Decode(w)
+	if err != nil {
+		t.Fatalf("decode fetched word: %v", err)
+	}
+	if in.Op != isa.ADDI || in.Imm != 7 {
+		t.Errorf("code image word 0 = %v", in)
+	}
+}
+
+func TestStackPointerInitialized(t *testing.T) {
+	p := asm.MustAssemble("t.s", "\thalt\n")
+	m := New(p)
+	if m.IntRegs[29] != StackTop {
+		t.Errorf("sp = %#x, want %#x", m.IntRegs[29], StackTop)
+	}
+}

@@ -1,0 +1,203 @@
+package isa
+
+import "fmt"
+
+// Binary encoding. Every instruction packs into one 32-bit word:
+//
+//	bits  0..7   opcode
+//	bits  8..13  first register slot  (rd, or rs2 for stores/branches)
+//	bits 14..19  second register slot (rs1)
+//	bits 20..25  third register slot  (rs2, R-type only)
+//
+// Immediate formats reuse the upper fields:
+//
+//	I-type (FmtRRI/FmtMem/FmtMemS/FmtBranch): bits 20..31 = imm12 (signed)
+//	U/J-type (FmtRI/FmtJump/FmtJAL):          bits 14..31 = imm18 (signed)
+//
+// The opcode's format decides which fields are meaningful; unused operand
+// slots must be RegNone in the Instruction and are written as zero, so the
+// Encode/Decode round trip is exact for every well-formed instruction.
+
+// Immediate range limits per format.
+const (
+	MaxImm12 = 1<<11 - 1
+	MinImm12 = -(1 << 11)
+	MaxImm18 = 1<<17 - 1
+	MinImm18 = -(1 << 17)
+)
+
+// EncodeError describes an instruction that cannot be represented in the
+// 32-bit encoding (immediate out of range, invalid or misplaced register).
+type EncodeError struct {
+	Inst   Instruction
+	Reason string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("isa: cannot encode %q: %s", e.Inst.String(), e.Reason)
+}
+
+// operandUse describes which operand slots a format consumes.
+type operandUse struct {
+	rd, rs1, rs2 bool
+	immBits      uint // 0, 12 or 18
+}
+
+func formatUse(f Format) operandUse {
+	switch f {
+	case FmtNone:
+		return operandUse{}
+	case FmtRRR:
+		return operandUse{rd: true, rs1: true, rs2: true}
+	case FmtRR:
+		return operandUse{rd: true, rs1: true}
+	case FmtRRI, FmtMem:
+		return operandUse{rd: true, rs1: true, immBits: 12}
+	case FmtMemS, FmtBranch:
+		return operandUse{rs1: true, rs2: true, immBits: 12}
+	case FmtRI, FmtJAL:
+		return operandUse{rd: true, immBits: 18}
+	case FmtJump:
+		return operandUse{immBits: 18}
+	case FmtJALR:
+		return operandUse{rd: true, rs1: true}
+	default:
+		return operandUse{}
+	}
+}
+
+func immLimits(bits uint) (min, max int32) {
+	switch bits {
+	case 12:
+		return MinImm12, MaxImm12
+	case 18:
+		return MinImm18, MaxImm18
+	default:
+		return 0, 0
+	}
+}
+
+// Encode packs the instruction into its 32-bit representation.
+func Encode(in Instruction) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, &EncodeError{in, "invalid opcode"}
+	}
+	use := formatUse(in.Op.Info().Format)
+
+	check := func(name string, r Reg, used bool) error {
+		if used {
+			if !r.Valid() {
+				return &EncodeError{in, fmt.Sprintf("%s: invalid register %d", name, r)}
+			}
+			return nil
+		}
+		if r != RegNone {
+			return &EncodeError{in, fmt.Sprintf("%s: operand not used by format", name)}
+		}
+		return nil
+	}
+	if err := check("rd", in.Rd, use.rd); err != nil {
+		return 0, err
+	}
+	if err := check("rs1", in.Rs1, use.rs1); err != nil {
+		return 0, err
+	}
+	if err := check("rs2", in.Rs2, use.rs2); err != nil {
+		return 0, err
+	}
+	if use.immBits == 0 {
+		if in.Imm != 0 {
+			return 0, &EncodeError{in, "format carries no immediate"}
+		}
+	} else {
+		min, max := immLimits(use.immBits)
+		if in.Imm < min || in.Imm > max {
+			return 0, &EncodeError{in, fmt.Sprintf("immediate %d outside [%d, %d]", in.Imm, min, max)}
+		}
+	}
+
+	w := uint32(in.Op)
+	// First register slot: rd normally, rs2 for destination-less formats.
+	switch {
+	case use.rd:
+		w |= uint32(in.Rd) << 8
+	case use.rs2:
+		w |= uint32(in.Rs2) << 8
+	}
+	switch use.immBits {
+	case 18:
+		w |= (uint32(in.Imm) & 0x3FFFF) << 14
+	case 12:
+		if use.rs1 {
+			w |= uint32(in.Rs1) << 14
+		}
+		w |= (uint32(in.Imm) & 0xFFF) << 20
+	default:
+		if use.rs1 {
+			w |= uint32(in.Rs1) << 14
+		}
+		if use.rd && use.rs2 {
+			w |= uint32(in.Rs2) << 20
+		}
+	}
+	return w, nil
+}
+
+// MustEncode encodes or panics; for use in tests and static tables.
+func MustEncode(in Instruction) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// DecodeError reports an undecodable instruction word.
+type DecodeError struct {
+	Word   uint32
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: cannot decode %#08x: %s", e.Word, e.Reason)
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Instruction, error) {
+	op := Op(w & 0xFF)
+	if !op.Valid() {
+		return Nop(), &DecodeError{w, "invalid opcode"}
+	}
+	use := formatUse(op.Info().Format)
+	in := Instruction{Op: op, Rd: RegNone, Rs1: RegNone, Rs2: RegNone}
+
+	first := Reg(w >> 8 & 0x3F)
+	switch {
+	case use.rd:
+		in.Rd = first
+	case use.rs2:
+		in.Rs2 = first
+	}
+	switch use.immBits {
+	case 18:
+		in.Imm = signExtend(w>>14&0x3FFFF, 18)
+	case 12:
+		if use.rs1 {
+			in.Rs1 = Reg(w >> 14 & 0x3F)
+		}
+		in.Imm = signExtend(w>>20&0xFFF, 12)
+	default:
+		if use.rs1 {
+			in.Rs1 = Reg(w >> 14 & 0x3F)
+		}
+		if use.rd && use.rs2 {
+			in.Rs2 = Reg(w >> 20 & 0x3F)
+		}
+	}
+	return in, nil
+}

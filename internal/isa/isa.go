@@ -1,0 +1,401 @@
+// Package isa defines the instruction set architecture simulated by this
+// repository: a small 64-bit RISC machine with 32 integer and 32
+// floating-point architected registers, fixed 32-bit instruction encodings,
+// and the operation classes needed by the out-of-order timing models
+// (integer ALU, multiply, divide, loads, stores, branches, jumps and
+// floating-point arithmetic).
+//
+// The ISA plays the role that PISA/Alpha played for the paper's
+// SimpleScalar-derived simulator: it is the contract between the assembler
+// (package asm), the functional emulator (package emu) and the timing cores
+// (packages ooo and core).
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFPRegs are the architected register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	// NumArchRegs is the total architected register name space. Registers
+	// 0..31 are integer registers (r0 is hard-wired to zero); registers
+	// 32..63 are floating-point registers f0..f31.
+	NumArchRegs = NumIntRegs + NumFPRegs
+)
+
+// Reg names an architected register. Values 0..31 are integer registers,
+// 32..63 floating-point registers. RegNone marks an absent operand.
+type Reg uint8
+
+// RegNone marks an unused operand slot.
+const RegNone Reg = 0xFF
+
+// IntReg returns the integer register with the given index.
+func IntReg(i int) Reg { return Reg(i) }
+
+// FPReg returns the floating-point register with the given index.
+func FPReg(i int) Reg { return Reg(NumIntRegs + i) }
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r != RegNone && r >= NumIntRegs }
+
+// Valid reports whether r names an architected register.
+func (r Reg) Valid() bool { return r < NumArchRegs }
+
+// String renders the assembler name of the register (r4, f12, ...).
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r < NumIntRegs:
+		return fmt.Sprintf("r%d", uint8(r))
+	case r < NumArchRegs:
+		return fmt.Sprintf("f%d", uint8(r)-NumIntRegs)
+	default:
+		return fmt.Sprintf("reg?%d", uint8(r))
+	}
+}
+
+// Op enumerates the operations of the ISA.
+type Op uint8
+
+// Operations. The groups matter: each op belongs to exactly one Class below,
+// which determines the functional unit it needs and its execution latency.
+const (
+	NOP Op = iota
+
+	// Integer register-register arithmetic and logic.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT  // set rd=1 if rs1 < rs2 (signed)
+	SLTU // unsigned compare
+
+	// Integer register-immediate arithmetic and logic.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	SLLI
+	SRLI
+	SRAI
+	LUI // rd = imm << 12 (pairs with a signed ADDI to build constants)
+
+	// Integer multiply and divide.
+	MUL
+	DIV
+	REM
+
+	// Memory operations. LD/SD move 64-bit words, LW/SW 32-bit words,
+	// LB/SB single bytes. FLD/FSD move 64-bit floating-point values.
+	LD
+	LW
+	LB
+	SD
+	SW
+	SB
+	FLD
+	FSD
+
+	// Control transfer. Branches compare integer registers and jump
+	// PC-relative. J/JAL jump PC-relative; JAL links into rd. JALR jumps
+	// register-indirect and links (JALR with rd=r0 is a plain indirect
+	// jump / function return).
+	BEQ
+	BNE
+	BLT
+	BGE
+	J
+	JAL
+	JALR
+
+	// Floating point arithmetic.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FMOV
+	FCVTIF // int reg -> fp reg conversion
+	FCVTFI // fp reg -> int reg conversion (truncating)
+	FLT    // rd(int) = 1 if fs1 < fs2
+	FEQ    // rd(int) = 1 if fs1 == fs2
+
+	// HALT stops the machine; it retires like an instruction so the
+	// pipeline can drain deterministically.
+	HALT
+
+	numOps // sentinel; keep last
+)
+
+// NumOps is the number of defined operations (for table sizing and fuzzing).
+const NumOps = int(numOps)
+
+// Class partitions operations by the functional unit they occupy and by
+// how the pipeline must treat them.
+type Class uint8
+
+// Instruction classes, mirroring the functional-unit mix of the paper's
+// Table 2 (4 integer ALUs, 2 integer MUL/DIV, 2 memory ports, 2 FP adders,
+// 1 FP MUL/DIV).
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassHalt
+
+	numClasses
+)
+
+// NumClasses is the number of instruction classes.
+const NumClasses = int(numClasses)
+
+// String names the class for statistics output.
+func (c Class) String() string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	case ClassIntALU:
+		return "int-alu"
+	case ClassIntMul:
+		return "int-mul"
+	case ClassIntDiv:
+		return "int-div"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassJump:
+		return "jump"
+	case ClassFPAdd:
+		return "fp-add"
+	case ClassFPMul:
+		return "fp-mul"
+	case ClassFPDiv:
+		return "fp-div"
+	case ClassHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("class?%d", uint8(c))
+	}
+}
+
+// Format describes how an operation's operands are laid out, both for the
+// binary encoding and for the assembler syntax.
+type Format uint8
+
+// Operand formats.
+const (
+	FmtNone   Format = iota // nop, halt
+	FmtRRR                  // rd, rs1, rs2
+	FmtRRI                  // rd, rs1, imm
+	FmtRI                   // rd, imm           (LUI)
+	FmtMem                  // rd, imm(rs1)      (loads)
+	FmtMemS                 // rs2, imm(rs1)     (stores: value register first)
+	FmtBranch               // rs1, rs2, imm     (PC-relative)
+	FmtJump                 // imm               (J)
+	FmtJAL                  // rd, imm
+	FmtJALR                 // rd, rs1
+	FmtRR                   // rd, rs1           (unary fp, conversions)
+)
+
+// Info is the static metadata table entry for one operation.
+type Info struct {
+	Name   string
+	Class  Class
+	Format Format
+}
+
+var opInfo = [numOps]Info{
+	NOP:    {"nop", ClassNop, FmtNone},
+	ADD:    {"add", ClassIntALU, FmtRRR},
+	SUB:    {"sub", ClassIntALU, FmtRRR},
+	AND:    {"and", ClassIntALU, FmtRRR},
+	OR:     {"or", ClassIntALU, FmtRRR},
+	XOR:    {"xor", ClassIntALU, FmtRRR},
+	SLL:    {"sll", ClassIntALU, FmtRRR},
+	SRL:    {"srl", ClassIntALU, FmtRRR},
+	SRA:    {"sra", ClassIntALU, FmtRRR},
+	SLT:    {"slt", ClassIntALU, FmtRRR},
+	SLTU:   {"sltu", ClassIntALU, FmtRRR},
+	ADDI:   {"addi", ClassIntALU, FmtRRI},
+	ANDI:   {"andi", ClassIntALU, FmtRRI},
+	ORI:    {"ori", ClassIntALU, FmtRRI},
+	XORI:   {"xori", ClassIntALU, FmtRRI},
+	SLTI:   {"slti", ClassIntALU, FmtRRI},
+	SLLI:   {"slli", ClassIntALU, FmtRRI},
+	SRLI:   {"srli", ClassIntALU, FmtRRI},
+	SRAI:   {"srai", ClassIntALU, FmtRRI},
+	LUI:    {"lui", ClassIntALU, FmtRI},
+	MUL:    {"mul", ClassIntMul, FmtRRR},
+	DIV:    {"div", ClassIntDiv, FmtRRR},
+	REM:    {"rem", ClassIntDiv, FmtRRR},
+	LD:     {"ld", ClassLoad, FmtMem},
+	LW:     {"lw", ClassLoad, FmtMem},
+	LB:     {"lb", ClassLoad, FmtMem},
+	SD:     {"sd", ClassStore, FmtMemS},
+	SW:     {"sw", ClassStore, FmtMemS},
+	SB:     {"sb", ClassStore, FmtMemS},
+	FLD:    {"fld", ClassLoad, FmtMem},
+	FSD:    {"fsd", ClassStore, FmtMemS},
+	BEQ:    {"beq", ClassBranch, FmtBranch},
+	BNE:    {"bne", ClassBranch, FmtBranch},
+	BLT:    {"blt", ClassBranch, FmtBranch},
+	BGE:    {"bge", ClassBranch, FmtBranch},
+	J:      {"j", ClassJump, FmtJump},
+	JAL:    {"jal", ClassJump, FmtJAL},
+	JALR:   {"jalr", ClassJump, FmtJALR},
+	FADD:   {"fadd", ClassFPAdd, FmtRRR},
+	FSUB:   {"fsub", ClassFPAdd, FmtRRR},
+	FMUL:   {"fmul", ClassFPMul, FmtRRR},
+	FDIV:   {"fdiv", ClassFPDiv, FmtRRR},
+	FNEG:   {"fneg", ClassFPAdd, FmtRR},
+	FMOV:   {"fmov", ClassFPAdd, FmtRR},
+	FCVTIF: {"fcvtif", ClassFPAdd, FmtRR},
+	FCVTFI: {"fcvtfi", ClassFPAdd, FmtRR},
+	FLT:    {"flt", ClassFPAdd, FmtRRR},
+	FEQ:    {"feq", ClassFPAdd, FmtRRR},
+	HALT:   {"halt", ClassHalt, FmtNone},
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool { return op < numOps }
+
+// Info returns the metadata for op.
+func (op Op) Info() Info {
+	if !op.Valid() {
+		return Info{Name: "invalid", Class: ClassNop, Format: FmtNone}
+	}
+	return opInfo[op]
+}
+
+// Class returns the instruction class of op.
+func (op Op) Class() Class { return op.Info().Class }
+
+// String returns the assembler mnemonic.
+func (op Op) String() string { return op.Info().Name }
+
+// OpByName resolves an assembler mnemonic; ok is false for unknown names.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		m[opInfo[op].Name] = op
+	}
+	return m
+}()
+
+// Instruction is one decoded machine instruction. The zero value is a NOP.
+type Instruction struct {
+	Op  Op
+	Rd  Reg   // destination, or RegNone
+	Rs1 Reg   // first source, or RegNone
+	Rs2 Reg   // second source, or RegNone
+	Imm int32 // immediate, sign-extended
+}
+
+// Nop is the canonical no-operation instruction.
+func Nop() Instruction {
+	return Instruction{Op: NOP, Rd: RegNone, Rs1: RegNone, Rs2: RegNone}
+}
+
+// Class returns the class of the instruction's op.
+func (in Instruction) Class() Class { return in.Op.Class() }
+
+// HasDest reports whether the instruction writes an architected register.
+func (in Instruction) HasDest() bool { return in.Rd != RegNone && in.Rd != 0 }
+
+// Sources returns the architected source registers, excluding r0 and unused
+// slots. The result aliases a fixed-size array; callers must not retain it
+// across modifications.
+func (in Instruction) Sources() []Reg {
+	var out []Reg
+	if in.Rs1 != RegNone && in.Rs1 != 0 {
+		out = append(out, in.Rs1)
+	}
+	if in.Rs2 != RegNone && in.Rs2 != 0 {
+		out = append(out, in.Rs2)
+	}
+	return out
+}
+
+// IsControl reports whether the instruction can redirect the PC.
+func (in Instruction) IsControl() bool {
+	c := in.Class()
+	return c == ClassBranch || c == ClassJump
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (in Instruction) IsMem() bool {
+	c := in.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// String disassembles the instruction.
+func (in Instruction) String() string {
+	info := in.Op.Info()
+	switch info.Format {
+	case FmtNone:
+		return info.Name
+	case FmtRRR:
+		return fmt.Sprintf("%s %s, %s, %s", info.Name, in.Rd, in.Rs1, in.Rs2)
+	case FmtRRI:
+		return fmt.Sprintf("%s %s, %s, %d", info.Name, in.Rd, in.Rs1, in.Imm)
+	case FmtRI:
+		return fmt.Sprintf("%s %s, %d", info.Name, in.Rd, in.Imm)
+	case FmtMem:
+		return fmt.Sprintf("%s %s, %d(%s)", info.Name, in.Rd, in.Imm, in.Rs1)
+	case FmtMemS:
+		return fmt.Sprintf("%s %s, %d(%s)", info.Name, in.Rs2, in.Imm, in.Rs1)
+	case FmtBranch:
+		return fmt.Sprintf("%s %s, %s, %d", info.Name, in.Rs1, in.Rs2, in.Imm)
+	case FmtJump:
+		return fmt.Sprintf("%s %d", info.Name, in.Imm)
+	case FmtJAL:
+		return fmt.Sprintf("%s %s, %d", info.Name, in.Rd, in.Imm)
+	case FmtJALR:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.Rd, in.Rs1)
+	case FmtRR:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.Rd, in.Rs1)
+	default:
+		return fmt.Sprintf("%s <bad format>", info.Name)
+	}
+}
+
+// MemWidth returns the access width in bytes for memory operations and 0
+// otherwise.
+func (in Instruction) MemWidth() int {
+	switch in.Op {
+	case LD, SD, FLD, FSD:
+		return 8
+	case LW, SW:
+		return 4
+	case LB, SB:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// InstBytes is the size of one encoded instruction in memory.
+const InstBytes = 4

@@ -1,0 +1,262 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{IntReg(0), "r0"},
+		{IntReg(31), "r31"},
+		{FPReg(0), "f0"},
+		{FPReg(31), "f31"},
+		{RegNone, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegPredicates(t *testing.T) {
+	if IntReg(5).IsFP() {
+		t.Error("r5 reported as FP")
+	}
+	if !FPReg(5).IsFP() {
+		t.Error("f5 not reported as FP")
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone reported valid")
+	}
+	if !IntReg(31).Valid() || !FPReg(31).Valid() {
+		t.Error("edge registers reported invalid")
+	}
+	if Reg(64).Valid() {
+		t.Error("register 64 reported valid")
+	}
+}
+
+func TestOpMetadataComplete(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("op %d has no name", op)
+		}
+		back, ok := OpByName(info.Name)
+		if !ok || back != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v, true", info.Name, back, ok, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted an unknown mnemonic")
+	}
+}
+
+func TestInstructionPredicates(t *testing.T) {
+	add := Instruction{Op: ADD, Rd: IntReg(1), Rs1: IntReg(2), Rs2: IntReg(3)}
+	if !add.HasDest() {
+		t.Error("add r1 lacks destination")
+	}
+	if got := len(add.Sources()); got != 2 {
+		t.Errorf("add sources = %d, want 2", got)
+	}
+	zeroDest := Instruction{Op: ADD, Rd: IntReg(0), Rs1: IntReg(2), Rs2: IntReg(3)}
+	if zeroDest.HasDest() {
+		t.Error("write to r0 counted as destination")
+	}
+	withZeroSrc := Instruction{Op: ADD, Rd: IntReg(1), Rs1: IntReg(0), Rs2: IntReg(3)}
+	if got := len(withZeroSrc.Sources()); got != 1 {
+		t.Errorf("r0 source not elided: got %d sources", got)
+	}
+	br := Instruction{Op: BEQ, Rd: RegNone, Rs1: IntReg(1), Rs2: IntReg(2), Imm: -4}
+	if !br.IsControl() || br.IsMem() {
+		t.Error("branch misclassified")
+	}
+	ld := Instruction{Op: LD, Rd: IntReg(1), Rs1: IntReg(2), Imm: 8}
+	if !ld.IsMem() || ld.IsControl() {
+		t.Error("load misclassified")
+	}
+	if ld.MemWidth() != 8 {
+		t.Errorf("LD width = %d, want 8", ld.MemWidth())
+	}
+	lw := Instruction{Op: LW, Rd: IntReg(1), Rs1: IntReg(2)}
+	if lw.MemWidth() != 4 {
+		t.Errorf("LW width = %d, want 4", lw.MemWidth())
+	}
+	if add.MemWidth() != 0 {
+		t.Errorf("ADD width = %d, want 0", add.MemWidth())
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Nop(), "nop"},
+		{Instruction{Op: ADD, Rd: IntReg(1), Rs1: IntReg(2), Rs2: IntReg(3)}, "add r1, r2, r3"},
+		{Instruction{Op: ADDI, Rd: IntReg(1), Rs1: IntReg(2), Imm: -7}, "addi r1, r2, -7"},
+		{Instruction{Op: LUI, Rd: IntReg(4), Rs1: RegNone, Rs2: RegNone, Imm: 100}, "lui r4, 100"},
+		{Instruction{Op: LD, Rd: IntReg(5), Rs1: IntReg(6), Rs2: RegNone, Imm: 16}, "ld r5, 16(r6)"},
+		{Instruction{Op: SD, Rd: RegNone, Rs1: IntReg(6), Rs2: IntReg(5), Imm: 16}, "sd r5, 16(r6)"},
+		{Instruction{Op: BNE, Rd: RegNone, Rs1: IntReg(1), Rs2: IntReg(2), Imm: -3}, "bne r1, r2, -3"},
+		{Instruction{Op: J, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Imm: 9}, "j 9"},
+		{Instruction{Op: JAL, Rd: IntReg(31), Rs1: RegNone, Rs2: RegNone, Imm: 2}, "jal r31, 2"},
+		{Instruction{Op: JALR, Rd: IntReg(0), Rs1: IntReg(31), Rs2: RegNone}, "jalr r0, r31"},
+		{Instruction{Op: FADD, Rd: FPReg(1), Rs1: FPReg(2), Rs2: FPReg(3)}, "fadd f1, f2, f3"},
+		{Instruction{Op: FMOV, Rd: FPReg(1), Rs1: FPReg(2), Rs2: RegNone}, "fmov f1, f2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripExamples(t *testing.T) {
+	cases := []Instruction{
+		Nop(),
+		{Op: HALT, Rd: RegNone, Rs1: RegNone, Rs2: RegNone},
+		{Op: ADD, Rd: IntReg(1), Rs1: IntReg(2), Rs2: IntReg(3)},
+		{Op: ADDI, Rd: IntReg(31), Rs1: IntReg(30), Imm: MaxImm12, Rs2: RegNone},
+		{Op: ADDI, Rd: IntReg(31), Rs1: IntReg(30), Imm: MinImm12, Rs2: RegNone},
+		{Op: LUI, Rd: IntReg(9), Imm: MaxImm18, Rs1: RegNone, Rs2: RegNone},
+		{Op: LUI, Rd: IntReg(9), Imm: MinImm18, Rs1: RegNone, Rs2: RegNone},
+		{Op: LD, Rd: IntReg(7), Rs1: IntReg(8), Imm: -8, Rs2: RegNone},
+		{Op: SD, Rs2: IntReg(7), Rs1: IntReg(8), Imm: 24, Rd: RegNone},
+		{Op: FSD, Rs2: FPReg(7), Rs1: IntReg(8), Imm: 24, Rd: RegNone},
+		{Op: BEQ, Rs1: IntReg(1), Rs2: IntReg(2), Imm: -100, Rd: RegNone},
+		{Op: J, Imm: 1000, Rd: RegNone, Rs1: RegNone, Rs2: RegNone},
+		{Op: JAL, Rd: IntReg(31), Imm: -1000, Rs1: RegNone, Rs2: RegNone},
+		{Op: JALR, Rd: IntReg(0), Rs1: IntReg(31), Rs2: RegNone},
+		{Op: FCVTIF, Rd: FPReg(0), Rs1: IntReg(4), Rs2: RegNone},
+		{Op: FLT, Rd: IntReg(3), Rs1: FPReg(1), Rs2: FPReg(2)},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", in, err)
+			continue
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Errorf("Decode(Encode(%v)): %v", in, err)
+			continue
+		}
+		if out != in {
+			t.Errorf("round trip %v -> %#08x -> %v", in, w, out)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []Instruction{
+		{Op: ADDI, Rd: IntReg(1), Rs1: IntReg(2), Imm: MaxImm12 + 1, Rs2: RegNone},
+		{Op: ADDI, Rd: IntReg(1), Rs1: IntReg(2), Imm: MinImm12 - 1, Rs2: RegNone},
+		{Op: LUI, Rd: IntReg(1), Imm: MaxImm18 + 1, Rs1: RegNone, Rs2: RegNone},
+		{Op: J, Imm: MinImm18 - 1, Rd: RegNone, Rs1: RegNone, Rs2: RegNone},
+		{Op: ADD, Rd: IntReg(1), Rs1: IntReg(2), Rs2: IntReg(3), Imm: 5}, // imm on R-type
+		{Op: Op(250), Rd: RegNone, Rs1: RegNone, Rs2: RegNone},           // invalid op
+		{Op: ADD, Rd: Reg(70), Rs1: IntReg(2), Rs2: IntReg(3)},           // invalid reg
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) succeeded, want error", in)
+		} else if !strings.Contains(err.Error(), "cannot encode") {
+			t.Errorf("Encode(%v) error %q lacks context", in, err)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	if _, err := Decode(0xFF); err == nil {
+		t.Error("Decode(invalid opcode) succeeded")
+	}
+}
+
+// randomInstruction builds a random but encodable instruction, exercising all
+// formats.
+func randomInstruction(r *rand.Rand) Instruction {
+	for {
+		op := Op(r.Intn(NumOps))
+		info := op.Info()
+		in := Instruction{Op: op, Rd: RegNone, Rs1: RegNone, Rs2: RegNone}
+		intReg := func() Reg { return IntReg(r.Intn(NumIntRegs)) }
+		fpReg := func() Reg { return FPReg(r.Intn(NumFPRegs)) }
+		anyReg := func() Reg {
+			if r.Intn(2) == 0 {
+				return intReg()
+			}
+			return fpReg()
+		}
+		imm12 := func() int32 { return int32(r.Intn(MaxImm12-MinImm12+1)) + MinImm12 }
+		imm18 := func() int32 { return int32(r.Intn(MaxImm18-MinImm18+1)) + MinImm18 }
+		switch info.Format {
+		case FmtNone:
+		case FmtRRR:
+			in.Rd, in.Rs1, in.Rs2 = anyReg(), anyReg(), anyReg()
+		case FmtRR:
+			in.Rd, in.Rs1 = anyReg(), anyReg()
+		case FmtRRI:
+			in.Rd, in.Rs1, in.Imm = intReg(), intReg(), imm12()
+		case FmtRI:
+			in.Rd, in.Imm = intReg(), imm18()
+		case FmtMem:
+			in.Rd, in.Rs1, in.Imm = anyReg(), intReg(), imm12()
+		case FmtMemS:
+			in.Rs2, in.Rs1, in.Imm = anyReg(), intReg(), imm12()
+		case FmtBranch:
+			in.Rs1, in.Rs2, in.Imm = intReg(), intReg(), imm12()
+		case FmtJump:
+			in.Imm = imm18()
+		case FmtJAL:
+			in.Rd, in.Imm = intReg(), imm18()
+		case FmtJALR:
+			in.Rd, in.Rs1 = intReg(), intReg()
+		}
+		return in
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomInstruction(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("Encode(%v): %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("Decode(%#08x): %v", w, err)
+			return false
+		}
+		if out != in {
+			t.Logf("round trip %v -> %v", in, out)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassStringsDistinct(t *testing.T) {
+	seen := map[string]Class{}
+	for c := Class(0); c < numClasses; c++ {
+		s := c.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("classes %v and %v share string %q", prev, c, s)
+		}
+		seen[s] = c
+	}
+}

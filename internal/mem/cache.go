@@ -1,0 +1,192 @@
+package mem
+
+import "fmt"
+
+// CacheConfig sizes one cache.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	LineBytes  int
+	HitLatency int // cycles, in the clock domain of the accessor
+	Ports      int // simultaneous accesses per cycle (enforced by the core)
+}
+
+// Validate reports configuration errors.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("mem: %s: sizes must be positive", c.Name)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: %s: line size %d is not a power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("mem: %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: %s: set count %d is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// CacheStats accumulates access counts for performance and power reporting.
+type CacheStats struct {
+	Reads      uint64
+	Writes     uint64
+	ReadMiss   uint64
+	WriteMiss  uint64
+	Writebacks uint64
+}
+
+// Accesses is the total number of accesses.
+func (s CacheStats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Misses is the total number of misses.
+func (s CacheStats) Misses() uint64 { return s.ReadMiss + s.WriteMiss }
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s CacheStats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses()) / float64(a)
+	}
+	return 0
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-use stamp; larger = more recent
+}
+
+// Cache is a set-associative, write-back, write-allocate cache model with
+// true LRU replacement. It models hit/miss behaviour and replacement only;
+// data payloads live in the backing Memory.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	setMask  uint64
+	lineBits uint
+	clock    uint64
+	Stats    CacheStats
+}
+
+// NewCache builds a cache; it panics on invalid configuration (caller bug).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	sets := make([][]cacheLine, numSets)
+	lines := make([]cacheLine, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i], lines = lines[:cfg.Ways], lines[cfg.Ways:]
+	}
+	lb := uint(0)
+	for 1<<lb < cfg.LineBytes {
+		lb++
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(numSets - 1), lineBits: lb}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) index(addr uint64) (set, tag uint64) {
+	block := addr >> c.lineBits
+	return block & c.setMask, block >> uint(popcount(c.setMask))
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// AccessResult describes one cache access.
+type AccessResult struct {
+	Hit bool
+	// Writeback is true when the access evicted a dirty line.
+	Writeback bool
+	// EvictedAddr is the base address of the evicted line, valid when a
+	// valid line was replaced.
+	EvictedAddr uint64
+	Evicted     bool
+}
+
+// Access performs one read (write=false) or write (write=true) at addr,
+// updating replacement state and statistics. Misses allocate.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	c.clock++
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	if write {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+	}
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.clock
+			if write {
+				lines[i].dirty = true
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+	if write {
+		c.Stats.WriteMiss++
+	} else {
+		c.Stats.ReadMiss++
+	}
+	// Choose victim: first invalid, else least recently used.
+	victim := 0
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+		if lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	res := AccessResult{}
+	if lines[victim].valid {
+		res.Evicted = true
+		res.EvictedAddr = c.evictedAddr(lines[victim].tag, set)
+		if lines[victim].dirty {
+			res.Writeback = true
+			c.Stats.Writebacks++
+		}
+	}
+	lines[victim] = cacheLine{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return res
+}
+
+func (c *Cache) evictedAddr(tag, set uint64) uint64 {
+	setBits := uint(popcount(c.setMask))
+	return (tag<<setBits | set) << c.lineBits
+}
+
+// Probe reports whether addr currently hits, without changing any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line (used at workload boundaries in tests).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package mem
+
+// HierarchyConfig describes the full memory system of the simulated machine.
+// Defaults mirror the paper's Table 2.
+type HierarchyConfig struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+	// L2Latency is the unified L2 hit time in core cycles (internal module:
+	// scales with the clock).
+	L2Latency int
+	// MemLatencyPS is the main-memory access time in picoseconds. The paper
+	// specifies 100 cycles at the baseline clock and scales the cycle count
+	// when the clock speeds up; expressing it as wall-clock time gives the
+	// same behaviour.
+	MemLatencyPS int64
+}
+
+// DefaultHierarchyConfig returns the Table 2 memory system, given the
+// baseline clock period in picoseconds (used to fix the DRAM wall-clock
+// latency at 100 baseline cycles).
+func DefaultHierarchyConfig(baselinePeriodPS int64) HierarchyConfig {
+	return HierarchyConfig{
+		L1I: CacheConfig{
+			Name: "l1i", SizeBytes: 64 << 10, Ways: 2, LineBytes: 32,
+			HitLatency: 2, Ports: 1,
+		},
+		L1D: CacheConfig{
+			Name: "l1d", SizeBytes: 64 << 10, Ways: 4, LineBytes: 32,
+			HitLatency: 2, Ports: 2,
+		},
+		L2: CacheConfig{
+			Name: "l2", SizeBytes: 512 << 10, Ways: 4, LineBytes: 64,
+			HitLatency: 10, Ports: 1,
+		},
+		L2Latency:    10,
+		MemLatencyPS: 100 * baselinePeriodPS,
+	}
+}
+
+// Hierarchy glues the cache levels together and converts miss chains into
+// access latencies for the timing cores.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	cfg HierarchyConfig
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1I: NewCache(cfg.L1I),
+		L1D: NewCache(cfg.L1D),
+		L2:  NewCache(cfg.L2),
+		cfg: cfg,
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// AccessKind selects the L1 cache used for an access.
+type AccessKind int
+
+// Access kinds.
+const (
+	AccessFetch AccessKind = iota // instruction fetch through L1I
+	AccessLoad                    // data read through L1D
+	AccessStore                   // data write through L1D
+)
+
+// Latency describes the outcome of one memory access.
+type Latency struct {
+	// Cycles is the total access latency in cycles of the requesting clock
+	// domain (whose period is passed to Access).
+	Cycles int
+	L1Hit  bool
+	L2Hit  bool
+}
+
+// Access simulates one access and returns its latency expressed in cycles of
+// a clock with the given period (picoseconds per cycle).
+func (h *Hierarchy) Access(kind AccessKind, addr uint64, periodPS int64) Latency {
+	l1 := h.L1I
+	write := false
+	switch kind {
+	case AccessLoad:
+		l1 = h.L1D
+	case AccessStore:
+		l1 = h.L1D
+		write = true
+	}
+	lat := Latency{Cycles: l1.Config().HitLatency}
+	res := l1.Access(addr, write)
+	if res.Hit {
+		lat.L1Hit = true
+		return lat
+	}
+	if res.Writeback {
+		// Dirty victim goes to L2; modelled as an L2 write for statistics,
+		// latency hidden by the writeback buffer.
+		h.L2.Access(res.EvictedAddr, true)
+	}
+	lat.Cycles += h.cfg.L2Latency
+	l2res := h.L2.Access(addr, false)
+	if l2res.Hit {
+		lat.L2Hit = true
+		return lat
+	}
+	if periodPS <= 0 {
+		periodPS = 1
+	}
+	memCycles := int((h.cfg.MemLatencyPS + periodPS - 1) / periodPS)
+	lat.Cycles += memCycles
+	return lat
+}
+
+// ResetStats clears all cache statistics (not contents).
+func (h *Hierarchy) ResetStats() {
+	h.L1I.Stats = CacheStats{}
+	h.L1D.Stats = CacheStats{}
+	h.L2.Stats = CacheStats{}
+}

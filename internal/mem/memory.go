@@ -1,0 +1,124 @@
+// Package mem provides the simulated memory system: a sparse byte-addressable
+// physical memory, set-associative write-back caches with LRU replacement,
+// and the two-level hierarchy (split L1, unified L2, fixed-latency DRAM)
+// used by both timing cores.
+//
+// Latency accounting follows the paper's Table 2: L1 caches have a
+// pipelined two-cycle hit time, the unified L2 costs 10 cycles, and main
+// memory costs 100 *baseline* cycles — a fixed wall-clock time that is
+// re-expressed in cycles of whatever clock the core currently runs
+// ("scaled accordingly when clock speed is increased").
+package mem
+
+import "encoding/binary"
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// Memory is a sparse, byte-addressable 64-bit physical memory. The zero
+// value is an empty memory; all bytes read as zero until written.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	key := addr >> pageShift
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (m *Memory) ByteAt(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// SetByte stores one byte at addr.
+func (m *Memory) SetByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read returns size bytes at addr as a little-endian integer.
+// size must be 1, 2, 4 or 8.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	off := addr & (pageSize - 1)
+	if p := m.page(addr, false); p != nil && off+uint64(size) <= pageSize {
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	// Slow path: missing page or page-crossing access.
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores size bytes of v at addr, little-endian.
+// size must be 1, 2, 4 or 8.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	off := addr & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		p := m.page(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for len(b) > 0 {
+		p := m.page(addr, true)
+		off := addr & (pageSize - 1)
+		n := copy(p[off:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.ByteAt(addr + uint64(i))
+	}
+	return out
+}
+
+// PageCount reports how many 4 KiB pages have been touched (for tests).
+func (m *Memory) PageCount() int { return len(m.pages) }

@@ -1,0 +1,86 @@
+// Package ooo implements the baseline machine of the paper: a nine-stage,
+// four-way superscalar, out-of-order processor with a monolithic MIPS
+// R10000-style issue queue (Table 2: 128-entry issue window, issue width 6,
+// 192-entry register file, 64-entry load/store queue, G-share prediction,
+// 64K L1 caches, unified 512K L2).
+//
+// Two configuration knobs reproduce the Figure 2 study: ExtraFrontEndStages
+// lengthens the Fetch/Mispredict loop, and PipelinedWakeupSelect breaks the
+// single-cycle Wake-Up/Select loop (losing back-to-back scheduling).
+package ooo
+
+import (
+	"flywheel/internal/branch"
+	"flywheel/internal/isa"
+	"flywheel/internal/mem"
+	"flywheel/internal/pipe"
+)
+
+// Config parameterizes the baseline core.
+type Config struct {
+	FetchWidth    int
+	DispatchWidth int
+	IssueWidth    int
+	CommitWidth   int
+
+	IWSize   int
+	ROBSize  int
+	LSQSize  int
+	PhysRegs int // total physical registers (rename capacity = PhysRegs - architected)
+
+	FrontQueueCap int
+
+	// DecodeStages is the number of front-end stages between fetch and
+	// dispatch (decode + rename).
+	DecodeStages int
+	// ExtraFrontEndStages adds stages to the front-end (Figure 2,
+	// Fetch/Mispredict loop study).
+	ExtraFrontEndStages int
+	// PipelinedWakeupSelect splits the Wake-Up/Select loop over two cycles
+	// (Figure 2, dark bars): dependent instructions can no longer issue
+	// back-to-back.
+	PipelinedWakeupSelect bool
+	// RedirectCycles is the fetch redirect time after a mispredicted
+	// control instruction resolves.
+	RedirectCycles int
+	// BranchResolveCycles is the register-read depth between issue and
+	// execute: mispredicts are detected this many cycles after the
+	// branch's wake-up result time.
+	BranchResolveCycles int
+
+	// PeriodPS is the clock period in picoseconds.
+	PeriodPS int64
+
+	FU     pipe.FUConfig
+	Branch branch.Config
+	Mem    mem.HierarchyConfig
+
+	// MaxCycles guards against deadlock bugs; 0 means no limit.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's Table 2 baseline at a 1 ns clock.
+func DefaultConfig() Config {
+	period := int64(1000)
+	return Config{
+		FetchWidth:          4,
+		DispatchWidth:       4,
+		IssueWidth:          6,
+		CommitWidth:         4,
+		IWSize:              128,
+		ROBSize:             256,
+		LSQSize:             64,
+		PhysRegs:            192,
+		FrontQueueCap:       32,
+		DecodeStages:        2,
+		RedirectCycles:      1,
+		BranchResolveCycles: 1,
+		PeriodPS:            period,
+		FU:                  pipe.DefaultFUConfig(),
+		Branch:              branch.DefaultConfig(),
+		Mem:                 mem.DefaultHierarchyConfig(period),
+	}
+}
+
+// RenameCapacity returns how many destination registers can be in flight.
+func (c Config) RenameCapacity() int { return c.PhysRegs - isa.NumArchRegs }

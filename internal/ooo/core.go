@@ -1,0 +1,250 @@
+package ooo
+
+import (
+	"fmt"
+
+	"flywheel/internal/branch"
+	"flywheel/internal/clock"
+	"flywheel/internal/emu"
+	"flywheel/internal/mem"
+	"flywheel/internal/pipe"
+)
+
+// Core is one baseline machine instance, wired to an architectural oracle
+// stream. Create with New, run with Run.
+type Core struct {
+	cfg Config
+
+	domain  *clock.Domain
+	sys     *clock.System
+	pred    *branch.Predictor
+	hier    *mem.Hierarchy
+	fetcher *pipe.Fetcher
+	front   *clock.Queue[*pipe.DynInst]
+	iw      *pipe.IssueWindow
+	rob     *pipe.ROB
+	lsq     *pipe.LSQ
+	fu      *pipe.FUPool
+	rat     *pipe.RAT
+
+	renameInFlight  int
+	fetchStallUntil int64
+	unblockAt       int64
+	unblockInst     *pipe.DynInst
+
+	halted bool
+	stats  Stats
+}
+
+// New builds a core around the given oracle stream.
+func New(cfg Config, stream *emu.Stream) *Core {
+	pred := branch.New(cfg.Branch)
+	hier := mem.NewHierarchy(cfg.Mem)
+	c := &Core{
+		cfg:     cfg,
+		domain:  clock.NewDomain("core", cfg.PeriodPS, 0),
+		pred:    pred,
+		hier:    hier,
+		fetcher: pipe.NewFetcher(stream, pred, hier, cfg.FetchWidth),
+		front:   clock.NewQueue[*pipe.DynInst](cfg.FrontQueueCap),
+		iw:      pipe.NewIssueWindow(cfg.IWSize),
+		rob:     pipe.NewROB(cfg.ROBSize),
+		lsq:     pipe.NewLSQ(cfg.LSQSize),
+		fu:      pipe.NewFUPool(cfg.FU),
+		rat:     pipe.NewRAT(),
+	}
+	c.sys = clock.NewSystem(c.domain)
+	if cfg.PipelinedWakeupSelect {
+		c.iw.ExtraWakeupDelayPS = cfg.PeriodPS
+	}
+	return c
+}
+
+// Run simulates until the program halts (or the stream ends) and returns
+// the run statistics.
+func (c *Core) Run() (Stats, error) {
+	guardCycles := uint64(0)
+	lastRetired := uint64(0)
+	for !c.halted {
+		now, _ := c.sys.Advance()
+		c.cycle(now)
+
+		if c.cfg.MaxCycles > 0 && c.domain.Cycles > c.cfg.MaxCycles {
+			return c.stats, fmt.Errorf("ooo: exceeded max cycles (%d)", c.cfg.MaxCycles)
+		}
+		if c.stats.Retired == lastRetired {
+			guardCycles++
+			if guardCycles > 200_000 {
+				return c.stats, fmt.Errorf(
+					"ooo: no retirement progress for %d cycles at t=%dps (rob=%d iw=%d front=%d fetchBlocked=%v)",
+					guardCycles, now, c.rob.Len(), c.iw.Len(), c.front.Len(), c.fetcher.Blocked())
+			}
+		} else {
+			guardCycles = 0
+			lastRetired = c.stats.Retired
+		}
+	}
+	c.finalizeStats()
+	return c.stats, nil
+}
+
+// cycle executes one clock edge, stages in reverse pipeline order so that
+// same-cycle flow-through cannot skip stages.
+func (c *Core) cycle(now int64) {
+	c.retire(now)
+	c.issue(now)
+	c.dispatch(now)
+	c.fetch(now)
+
+	// Program done: everything drained and nothing more to fetch.
+	if c.fetcher.Done() && c.front.Len() == 0 && c.rob.Len() == 0 {
+		c.halted = true
+	}
+}
+
+func (c *Core) retire(now int64) {
+	for n := 0; n < c.cfg.CommitWidth; n++ {
+		head := c.rob.Head()
+		if head == nil || head.State < pipe.StateIssued || head.DoneAt > now {
+			return
+		}
+		head.State = pipe.StateDone
+		c.rob.PopHead()
+		head.State = pipe.StateRetired
+		c.rat.Retire(head)
+		if head.Inst().HasDest() {
+			c.renameInFlight--
+			c.stats.RegWrites++
+		}
+		if head.IsLoad() || head.IsStore() {
+			c.lsq.Remove(head)
+		}
+		if head.IsControl() {
+			c.pred.Update(head.Trace.PC, head.Inst(), head.Trace.Taken, head.Trace.NextPC)
+		}
+		c.stats.Retired++
+		if head.IsHalt() {
+			c.halted = true
+			return
+		}
+	}
+}
+
+func (c *Core) issue(now int64) {
+	p := c.cfg.PeriodPS
+	selected := c.iw.Select(now, p, c.cfg.IssueWidth, c.fu, func(d *pipe.DynInst) bool {
+		if d.IsLoad() {
+			return c.lsq.CanIssueLoad(d)
+		}
+		return true
+	})
+	for _, d := range selected {
+		d.State = pipe.StateIssued
+		d.IssuedAt = now
+		lat := int64(c.fu.Latency(d.Class()))
+		c.stats.Issued++
+		c.stats.RegReads += uint64(len(d.Inst().Sources()))
+
+		switch {
+		case d.IsLoad():
+			memCycles := int64(1) // store-to-load forward latency
+			if fwd := c.lsq.ForwardSource(d); fwd != nil {
+				d.Forwarded = true
+			} else {
+				res := c.hier.Access(mem.AccessLoad, d.Trace.Addr, p)
+				memCycles = int64(res.Cycles)
+				d.L1Hit = res.L1Hit
+			}
+			d.ResultAt = now + (lat+memCycles)*p
+			d.DoneAt = d.ResultAt + p
+		case d.IsStore():
+			// The architected write happens at commit; the port and cache
+			// are charged here, where address and data are ready.
+			c.hier.Access(mem.AccessStore, d.Trace.Addr, p)
+			d.ResultAt = now + lat*p
+			d.DoneAt = d.ResultAt + p
+		case d.IsControl():
+			d.ResultAt = now + lat*p
+			resolve := d.ResultAt + int64(c.cfg.BranchResolveCycles)*p
+			d.DoneAt = resolve + p
+			if d.Mispredicted {
+				c.scheduleUnblock(d, resolve+int64(c.cfg.RedirectCycles)*p)
+				c.stats.Mispredicts++
+			}
+		default:
+			d.ResultAt = now + lat*p
+			d.DoneAt = d.ResultAt + p
+		}
+	}
+}
+
+func (c *Core) scheduleUnblock(d *pipe.DynInst, at int64) {
+	c.unblockInst = d
+	c.unblockAt = at
+}
+
+func (c *Core) dispatch(now int64) {
+	for n := 0; n < c.cfg.DispatchWidth; n++ {
+		d, ok := c.front.Peek(now)
+		if !ok {
+			return
+		}
+		if c.rob.Full() || c.iw.Full() {
+			c.stats.DispatchStallResource++
+			return
+		}
+		if (d.IsLoad() || d.IsStore()) && c.lsq.Full() {
+			c.stats.DispatchStallResource++
+			return
+		}
+		if d.Inst().HasDest() && c.renameInFlight >= c.cfg.RenameCapacity() {
+			c.stats.DispatchStallRename++
+			return
+		}
+		c.front.Pop(now)
+		c.rat.Link(d)
+		c.rob.Push(d)
+		c.iw.Insert(d, now)
+		if d.IsLoad() || d.IsStore() {
+			c.lsq.Insert(d)
+		}
+		if d.Inst().HasDest() {
+			c.renameInFlight++
+		}
+		d.State = pipe.StateDispatched
+		d.DispatchedAt = now
+		c.stats.Dispatched++
+	}
+}
+
+func (c *Core) fetch(now int64) {
+	// Release a resolved mispredict.
+	if c.unblockInst != nil && now >= c.unblockAt {
+		c.fetcher.Unblock(c.unblockInst)
+		c.unblockInst = nil
+	}
+	if now < c.fetchStallUntil || c.fetcher.Blocked() {
+		return
+	}
+	if c.front.Free() < c.cfg.FetchWidth {
+		c.stats.FetchStallQueue++
+		return
+	}
+	p := c.cfg.PeriodPS
+	group, lat := c.fetcher.FetchGroup(now, p)
+	if len(group) == 0 {
+		return
+	}
+	c.stats.FetchGroups++
+	hit := c.cfg.Mem.L1I.HitLatency
+	frontDepth := int64(hit + c.cfg.DecodeStages + c.cfg.ExtraFrontEndStages)
+	readyAt := now + frontDepth*p
+	if lat > hit {
+		// I-cache miss: the whole front-end waits for the refill.
+		readyAt = now + int64(lat+c.cfg.DecodeStages+c.cfg.ExtraFrontEndStages)*p
+		c.fetchStallUntil = now + int64(lat-hit)*p
+	}
+	for _, d := range group {
+		c.front.Push(d, readyAt)
+	}
+}

@@ -1,0 +1,146 @@
+// Package pipe provides the pipeline building blocks shared by the baseline
+// superscalar core (package ooo) and the Flywheel core (package core): the
+// in-flight instruction representation, issue window with wake-up/select,
+// reorder buffer, load/store queue, functional-unit pool, register alias
+// table and the front-end fetcher.
+//
+// Timing convention: everything is stamped in picoseconds on the global
+// simulation timeline, so the same structures work unchanged whether a core
+// runs one clock domain (baseline) or several at different speeds
+// (Flywheel). An instruction selected at edge t with execution latency L
+// cycles of period p has ResultAt = t + L*p: a dependent may be selected at
+// any edge >= ResultAt, which yields back-to-back scheduling of single-cycle
+// operations and stretches correctly when p changes.
+package pipe
+
+import (
+	"math"
+
+	"flywheel/internal/emu"
+	"flywheel/internal/isa"
+)
+
+// FarFuture marks timestamps that have not been resolved yet.
+const FarFuture int64 = math.MaxInt64 / 4
+
+// State tracks an instruction's progress through the machine.
+type State uint8
+
+// Instruction lifecycle states.
+const (
+	StateFetched State = iota
+	StateDispatched
+	StateIssued
+	StateDone
+	StateRetired
+)
+
+// String names the state for debugging output.
+func (s State) String() string {
+	switch s {
+	case StateFetched:
+		return "fetched"
+	case StateDispatched:
+		return "dispatched"
+	case StateIssued:
+		return "issued"
+	case StateDone:
+		return "done"
+	case StateRetired:
+		return "retired"
+	default:
+		return "state?"
+	}
+}
+
+// DynInst is one dynamic instruction in flight. The oracle trace supplies
+// architected outcomes (branch direction, memory address); all timestamps
+// are in picoseconds.
+type DynInst struct {
+	Trace emu.Trace
+	State State
+
+	// Src points at the in-flight producers of the register sources
+	// (nil when the operand was architecturally ready at dispatch).
+	Src [2]*DynInst
+
+	FetchedAt    int64
+	DispatchedAt int64
+	IssuedAt     int64
+	// ResultAt is when dependents may issue (wake-up time). FarFuture
+	// until the instruction is issued and its latency is known.
+	ResultAt int64
+	// DoneAt is when the instruction may retire (after write-back).
+	DoneAt int64
+
+	// Mispredicted marks control instructions whose front-end prediction
+	// disagreed with the architected outcome.
+	Mispredicted bool
+
+	// L1Hit records the D-cache outcome for loads (for statistics).
+	L1Hit bool
+	// Forwarded records store-to-load forwarding (for statistics).
+	Forwarded bool
+
+	// IssueUnit groups instructions selected in the same cycle; the
+	// Flywheel core uses it to build Execution Cache issue units.
+	IssueUnit int64
+
+	// LID is the logical rename identifier assigned by the Flywheel
+	// two-phase renaming mechanism (per-architected-register pool index).
+	LID [3]uint16 // rd, rs1, rs2 logical ids
+}
+
+// NewDynInst wraps an oracle trace record.
+func NewDynInst(tr emu.Trace) *DynInst {
+	return &DynInst{Trace: tr, ResultAt: FarFuture, DoneAt: FarFuture, IssueUnit: -1}
+}
+
+// Seq returns the dynamic sequence number.
+func (d *DynInst) Seq() uint64 { return d.Trace.Seq }
+
+// Inst returns the static instruction.
+func (d *DynInst) Inst() isa.Instruction { return d.Trace.Inst }
+
+// Class returns the instruction class.
+func (d *DynInst) Class() isa.Class { return d.Trace.Inst.Class() }
+
+// IsLoad reports whether this is a load.
+func (d *DynInst) IsLoad() bool { return d.Class() == isa.ClassLoad }
+
+// IsStore reports whether this is a store.
+func (d *DynInst) IsStore() bool { return d.Class() == isa.ClassStore }
+
+// IsControl reports whether this instruction can redirect fetch.
+func (d *DynInst) IsControl() bool { return d.Trace.Inst.IsControl() }
+
+// IsHalt reports whether this is the halt instruction.
+func (d *DynInst) IsHalt() bool { return d.Trace.Inst.Op == isa.HALT }
+
+// SourcesReadyAt returns the earliest edge at which every register operand
+// is available. extraDelayPS widens the wake-up loop (the pipelined
+// wake-up/select study of Figure 2 passes one back-end period here).
+func (d *DynInst) SourcesReadyAt(extraDelayPS int64) int64 {
+	ready := int64(0)
+	for _, src := range d.Src {
+		if src == nil {
+			continue
+		}
+		t := src.ResultAt
+		if t >= FarFuture {
+			return FarFuture
+		}
+		t += extraDelayPS
+		if t > ready {
+			ready = t
+		}
+	}
+	return ready
+}
+
+// Overlaps reports whether two memory accesses touch overlapping bytes.
+func (d *DynInst) Overlaps(o *DynInst) bool {
+	a0, a1 := d.Trace.Addr, d.Trace.Addr+uint64(d.Inst().MemWidth())
+	b0, b1 := o.Trace.Addr, o.Trace.Addr+uint64(o.Inst().MemWidth())
+	return a0 < b1 && b0 < a1
+}

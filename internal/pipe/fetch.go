@@ -1,0 +1,149 @@
+package pipe
+
+import (
+	"flywheel/internal/branch"
+	"flywheel/internal/emu"
+	"flywheel/internal/mem"
+)
+
+// InstSource supplies the dynamic instruction stream in program order.
+// *emu.Stream implements it directly; the Flywheel core interposes its
+// oracle window so trace replay and the front-end share one stream.
+type InstSource interface {
+	Next() (emu.Trace, bool)
+}
+
+// Fetcher models the instruction fetch stage. It pulls the dynamic
+// instruction stream from the architectural oracle and follows the
+// *predicted* control flow indirectly: fetch proceeds down the correct path,
+// but whenever the branch predictor would have disagreed with the oracle the
+// fetcher blocks — exactly as a real front-end stops producing useful work
+// after a mispredict — until the core reports the branch resolved. This
+// charges the full misprediction penalty without simulating wrong-path
+// instructions (see DESIGN.md, substitutions).
+//
+// Fetch groups follow the paper's baseline: up to width instructions per
+// cycle from one aligned block, ending early at taken control flow.
+type Fetcher struct {
+	stream InstSource
+	pred   *branch.Predictor
+	hier   *mem.Hierarchy
+	width  int
+
+	pending   *DynInst // lookahead when a group ends on an alignment break
+	blockedOn *DynInst // unresolved mispredicted control instruction
+	done      bool
+
+	// Stats
+	Groups      uint64
+	Fetched     uint64
+	Mispredicts uint64
+}
+
+// NewFetcher builds a fetch stage of the given width.
+func NewFetcher(stream InstSource, pred *branch.Predictor, hier *mem.Hierarchy, width int) *Fetcher {
+	return &Fetcher{stream: stream, pred: pred, hier: hier, width: width}
+}
+
+// TakePending removes and returns the lookahead instruction, if any; the
+// Flywheel core returns it to the oracle window when switching into trace
+// execution.
+func (f *Fetcher) TakePending() *DynInst {
+	d := f.pending
+	f.pending = nil
+	return d
+}
+
+// ForceUnblock clears any mispredict block (mode switches reset the
+// front-end).
+func (f *Fetcher) ForceUnblock() { f.blockedOn = nil }
+
+// Blocked reports whether fetch is stalled behind a mispredicted control
+// instruction.
+func (f *Fetcher) Blocked() bool { return f.blockedOn != nil }
+
+// BlockedOn returns the instruction fetch is stalled on, or nil.
+func (f *Fetcher) BlockedOn() *DynInst { return f.blockedOn }
+
+// Done reports whether the instruction stream is exhausted.
+func (f *Fetcher) Done() bool { return f.done && f.pending == nil }
+
+// Unblock resumes fetch after the mispredicted instruction d resolved.
+func (f *Fetcher) Unblock(d *DynInst) {
+	if f.blockedOn == d {
+		f.blockedOn = nil
+	}
+}
+
+// next returns the next dynamic instruction, honouring the lookahead slot.
+func (f *Fetcher) next() *DynInst {
+	if f.pending != nil {
+		d := f.pending
+		f.pending = nil
+		return d
+	}
+	tr, ok := f.stream.Next()
+	if !ok {
+		f.done = true
+		return nil
+	}
+	return NewDynInst(tr)
+}
+
+// FetchGroup fetches one group. It returns the instructions and the
+// instruction-cache latency in cycles (the core turns that into the
+// fetch-buffer visibility time). It returns a nil group when fetch is
+// blocked or the stream ended.
+func (f *Fetcher) FetchGroup(now, periodPS int64) ([]*DynInst, int) {
+	if f.blockedOn != nil || f.Done() {
+		return nil, 0
+	}
+	var group []*DynInst
+	blockID := int64(-1)
+	for len(group) < f.width {
+		d := f.next()
+		if d == nil {
+			break
+		}
+		// Aligned fetch: all instructions of a group come from one
+		// width-instruction block.
+		id := int64(d.Trace.PC) / (int64(f.width) * 4)
+		if blockID == -1 {
+			blockID = id
+		} else if id != blockID {
+			f.pending = d
+			break
+		}
+		d.FetchedAt = now
+		d.State = StateFetched
+		group = append(group, d)
+		f.Fetched++
+
+		if d.IsControl() {
+			pred := f.pred.Predict(d.Trace.PC, d.Inst())
+			wrong := pred.Taken != d.Trace.Taken ||
+				(d.Trace.Taken && (!pred.TargetKnown || pred.Target != d.Trace.NextPC))
+			f.pred.RecordOutcome(d.Inst(), wrong)
+			if wrong {
+				d.Mispredicted = true
+				f.blockedOn = d
+				f.Mispredicts++
+				break
+			}
+			if d.Trace.Taken {
+				// Correctly predicted taken: group ends, next group
+				// starts at the target next cycle.
+				break
+			}
+		}
+		if d.IsHalt() {
+			break
+		}
+	}
+	if len(group) == 0 {
+		return nil, 0
+	}
+	f.Groups++
+	lat := f.hier.Access(mem.AccessFetch, group[0].Trace.PC, periodPS)
+	return group, lat.Cycles
+}

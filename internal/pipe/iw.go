@@ -1,0 +1,103 @@
+package pipe
+
+// IssueWindow models the monolithic R10000-style issue queue: dispatched
+// instructions wait here until their operands are ready (wake-up) and a
+// functional unit accepts them (select). Entries carry a visibility
+// timestamp so the same structure serves both the fully synchronous
+// baseline (visibleAt = dispatch time) and the Dual-Clock Issue Window
+// (visibleAt = arrival + synchronization delay, §3.2).
+//
+// The dual-clock design adopts the paper's Figure 5 solution (duplicated
+// tag matching over the previous two producer cycles), so no wake-ups are
+// lost; the modelled cost is the synchronization latency on insertion.
+type IssueWindow struct {
+	entries []iwEntry
+	cap     int
+
+	// ExtraWakeupDelayPS widens the wake-up loop; the pipelined
+	// wake-up/select variant of Figure 2 sets it to one back-end period,
+	// breaking back-to-back scheduling of dependent instructions.
+	ExtraWakeupDelayPS int64
+
+	// Stats
+	Inserted     uint64
+	Selected     uint64
+	OccupancySum uint64 // summed occupancy at each select edge (avg = /SelectEdges)
+	SelectEdges  uint64
+}
+
+type iwEntry struct {
+	inst      *DynInst
+	visibleAt int64
+}
+
+// NewIssueWindow builds a window with the given capacity.
+func NewIssueWindow(capacity int) *IssueWindow {
+	return &IssueWindow{cap: capacity}
+}
+
+// Cap returns the window capacity.
+func (w *IssueWindow) Cap() int { return w.cap }
+
+// Len returns the current occupancy.
+func (w *IssueWindow) Len() int { return len(w.entries) }
+
+// Full reports whether the window has no free entries.
+func (w *IssueWindow) Full() bool { return len(w.entries) >= w.cap }
+
+// Insert places an instruction into a free entry; it becomes visible to
+// wake-up/select at visibleAt. Insert reports false when the window is full.
+func (w *IssueWindow) Insert(d *DynInst, visibleAt int64) bool {
+	if w.Full() {
+		return false
+	}
+	w.entries = append(w.entries, iwEntry{d, visibleAt})
+	w.Inserted++
+	return true
+}
+
+// Select performs one wake-up/select cycle at edge time now: it scans
+// entries oldest-first, picks up to width instructions whose operands are
+// ready and that pass the extra predicate (the cores use it for load/store
+// ordering) and for which a functional unit is available, removes them from
+// the window and returns them.
+func (w *IssueWindow) Select(now, periodPS int64, width int, fu *FUPool, extra func(*DynInst) bool) []*DynInst {
+	w.SelectEdges++
+	w.OccupancySum += uint64(len(w.entries))
+	if len(w.entries) == 0 || width <= 0 {
+		return nil
+	}
+	fu.BeginCycle(now)
+	var picked []*DynInst
+	kept := w.entries[:0]
+	for i, e := range w.entries {
+		if len(picked) >= width {
+			kept = append(kept, w.entries[i:]...)
+			break
+		}
+		d := e.inst
+		switch {
+		case e.visibleAt > now,
+			d.SourcesReadyAt(w.ExtraWakeupDelayPS) > now,
+			extra != nil && !extra(d),
+			!fu.TryReserve(d.Class(), now, periodPS):
+			kept = append(kept, e)
+		default:
+			picked = append(picked, d)
+		}
+	}
+	w.entries = kept
+	w.Selected += uint64(len(picked))
+	return picked
+}
+
+// Flush empties the window (pipeline squash).
+func (w *IssueWindow) Flush() { w.entries = w.entries[:0] }
+
+// AvgOccupancy returns the mean occupancy observed at select edges.
+func (w *IssueWindow) AvgOccupancy() float64 {
+	if w.SelectEdges == 0 {
+		return 0
+	}
+	return float64(w.OccupancySum) / float64(w.SelectEdges)
+}

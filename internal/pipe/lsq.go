@@ -1,0 +1,84 @@
+package pipe
+
+// LSQ is the load/store queue. Entries sit in program order from dispatch
+// until retirement. The model uses conservative memory disambiguation: a
+// load may not access the cache until every older store has computed its
+// address (i.e. has issued); when an older store to overlapping bytes
+// exists, the load forwards from it instead of accessing the cache.
+type LSQ struct {
+	entries []*DynInst
+	cap     int
+
+	// Forwards counts store-to-load forwards (for statistics).
+	Forwards uint64
+}
+
+// NewLSQ builds a queue with the given capacity.
+func NewLSQ(capacity int) *LSQ {
+	return &LSQ{cap: capacity}
+}
+
+// Cap returns the capacity.
+func (q *LSQ) Cap() int { return q.cap }
+
+// Len returns the occupancy.
+func (q *LSQ) Len() int { return len(q.entries) }
+
+// Full reports whether the queue is at capacity.
+func (q *LSQ) Full() bool { return len(q.entries) >= q.cap }
+
+// Insert adds a memory instruction at dispatch; it reports false when full.
+func (q *LSQ) Insert(d *DynInst) bool {
+	if q.Full() {
+		return false
+	}
+	q.entries = append(q.entries, d)
+	return true
+}
+
+// CanIssueLoad reports whether the load may access memory now: every older
+// store must have issued (computed its address and data).
+func (q *LSQ) CanIssueLoad(load *DynInst) bool {
+	for _, e := range q.entries {
+		if e.Seq() >= load.Seq() {
+			break
+		}
+		if e.IsStore() && e.State < StateIssued {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardSource returns the youngest older store with overlapping bytes, if
+// any; the load takes its data from the store buffer instead of the cache.
+func (q *LSQ) ForwardSource(load *DynInst) *DynInst {
+	var src *DynInst
+	for _, e := range q.entries {
+		if e.Seq() >= load.Seq() {
+			break
+		}
+		if e.IsStore() && e.Overlaps(load) {
+			src = e
+		}
+	}
+	if src != nil {
+		q.Forwards++
+	}
+	return src
+}
+
+// Remove drops a retired instruction from the queue head region. Instructions
+// retire in program order, so the entry is expected at the front.
+func (q *LSQ) Remove(d *DynInst) {
+	for i, e := range q.entries {
+		if e == d {
+			copy(q.entries[i:], q.entries[i+1:])
+			q.entries = q.entries[:len(q.entries)-1]
+			return
+		}
+	}
+}
+
+// Flush empties the queue.
+func (q *LSQ) Flush() { q.entries = q.entries[:0] }

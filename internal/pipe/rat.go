@@ -1,0 +1,71 @@
+package pipe
+
+import (
+	"flywheel/internal/isa"
+)
+
+// RAT is the register alias table used at dispatch to link register
+// dependencies: it remembers the most recent in-flight producer of every
+// architected register. (The baseline core models MIPS R10000-style
+// renaming; the Flywheel core adds its two-phase scheme on top in package
+// core, but dependency linking works the same way.)
+type RAT struct {
+	last [isa.NumArchRegs]*DynInst
+}
+
+// NewRAT returns an empty alias table.
+func NewRAT() *RAT { return &RAT{} }
+
+// Link fills d.Src with pointers to the current producers of its source
+// registers and records d as the new producer of its destination.
+func (t *RAT) Link(d *DynInst) {
+	in := d.Inst()
+	srcs := in.Sources()
+	for i, r := range srcs {
+		if i >= len(d.Src) {
+			break
+		}
+		if p := t.last[r]; p != nil && p.State < StateRetired {
+			d.Src[i] = p
+		}
+	}
+	if in.HasDest() {
+		t.last[in.Rd] = d
+	}
+}
+
+// SourcesReady reports whether every register source of d has its value
+// available at time now, according to the current producer table. Used by
+// the Flywheel replay scoreboard, where instructions are linked at issue.
+func (t *RAT) SourcesReady(d *DynInst, now int64) bool {
+	for _, r := range d.Inst().Sources() {
+		p := t.last[r]
+		if p == nil || p.State == StateRetired {
+			continue
+		}
+		if p.ResultAt > now {
+			return false
+		}
+	}
+	return true
+}
+
+// Retire clears the producer entry if d is still the latest writer of its
+// destination (so fully drained machines hold no stale pointers).
+func (t *RAT) Retire(d *DynInst) {
+	in := d.Inst()
+	if in.HasDest() && t.last[in.Rd] == d {
+		t.last[in.Rd] = nil
+	}
+}
+
+// Reset clears the table.
+func (t *RAT) Reset() {
+	for i := range t.last {
+		t.last[i] = nil
+	}
+}
+
+// Producer returns the current in-flight producer of a register, or nil
+// (diagnostic hook for the replay scoreboard).
+func (t *RAT) Producer(r isa.Reg) *DynInst { return t.last[r] }

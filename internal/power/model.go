@@ -1,0 +1,264 @@
+package power
+
+import (
+	"math"
+
+	"flywheel/internal/mem"
+	"flywheel/internal/pipe"
+)
+
+// MachineShape describes the structure sizes that scale per-access energies
+// and determine leakage device counts.
+type MachineShape struct {
+	IWEntries int
+	RFEntries int
+	L1IBytes  int
+	L1DBytes  int
+	L2Bytes   int
+	// ECBytes is zero for the baseline machine.
+	ECBytes int
+	// FlywheelTables adds the RT/FRT/SRT and per-pool rename bookkeeping.
+	FlywheelTables bool
+}
+
+// BaselineShape returns the Table 2 baseline machine.
+func BaselineShape() MachineShape {
+	return MachineShape{
+		IWEntries: 128, RFEntries: 192,
+		L1IBytes: 64 << 10, L1DBytes: 64 << 10, L2Bytes: 512 << 10,
+	}
+}
+
+// FlywheelShape returns the Table 2 Flywheel machine (512-entry RF, 128K EC).
+func FlywheelShape() MachineShape {
+	s := BaselineShape()
+	s.RFEntries = 512
+	s.ECBytes = 128 << 10
+	s.FlywheelTables = true
+	return s
+}
+
+// EffectiveDevices estimates the Butts/Sohi effective device count for
+// leakage: raw transistor counts weighted by per-structure design factors
+// (stacked SRAM cells leak less per device than free-running logic; the
+// EC's wide banked blocks carry more peripheral logic per bit).
+func (m MachineShape) EffectiveDevices() float64 {
+	const (
+		kSRAM  = 0.05
+		kEC    = 0.25
+		kLogic = 0.30
+		kRF    = 0.10
+	)
+	sramDevices := func(bytes int) float64 { return float64(bytes) * 8 * 6 } // 6T cells
+	dev := 0.0
+	dev += sramDevices(m.L1IBytes) * kSRAM
+	dev += sramDevices(m.L1DBytes) * kSRAM
+	dev += sramDevices(m.L2Bytes) * kSRAM
+	dev += sramDevices(m.ECBytes) * 1.3 * kEC // +30% peripheral per bit
+	dev += float64(m.RFEntries) * 64 * 10 * kRF
+	dev += float64(m.IWEntries) * 200 * 8 * kLogic // CAM-heavy
+	// Core logic: decoders, FUs, bypass, control — a fixed block.
+	dev += 8e6 * kLogic
+	if m.FlywheelTables {
+		dev += 0.4e6 * kLogic
+	}
+	return dev
+}
+
+// UnitEnergies lists per-event dynamic energies in picojoules at the
+// operating node. Build with Units.
+type UnitEnergies struct {
+	ICacheAccess float64 // per fetch group
+	DCacheAccess float64
+	L2Access     float64
+	BPredLookup  float64
+	BPredUpdate  float64
+	DecodeOp     float64 // per instruction
+	RenameOp     float64 // per instruction (map read + write)
+	IWInsert     float64
+	IWWakeup     float64 // tag broadcast per selected instruction
+	IWSelect     float64
+	RegRead      float64 // per operand
+	RegWrite     float64 // per result
+	FUOp         [pipe.NumFUGroups]float64
+	ROBWrite     float64
+	ROBRetire    float64
+	LSQOp        float64
+	Bypass       float64 // result-bus drive per completing instruction
+
+	// Flywheel-specific events.
+	ECTagLookup  float64
+	ECBlockRead  float64 // whole 8-instruction block
+	ECBlockWrite float64
+	UpdateOp     float64 // RT/SRT access per instruction in Register Update
+	Checkpoint   float64 // FRT -> RT copy
+
+	// Clock grids, charged per delivered (ungated) cycle of each domain.
+	ClockGlobalPerCycle float64
+	ClockFEPerCycle     float64
+	ClockBEPerCycle     float64
+}
+
+// Units computes the per-event energies for a machine shape at a node.
+// Base values are calibrated at 0.13 µm and scale with capacitance and
+// Vdd²; array energies additionally scale with structure size.
+func Units(t TechParams, shape MachineShape) UnitEnergies {
+	s := t.DynScale()
+	// The Flywheel register file is organized as per-architected-register
+	// pools (banks), so its access energy grows far slower than capacity:
+	// sqrt scaling instead of linear.
+	rf := math.Sqrt(float64(shape.RFEntries) / 192.0)
+	iw := float64(shape.IWEntries) / 128.0
+	u := UnitEnergies{
+		ICacheAccess: 400 * s,
+		DCacheAccess: 350 * s,
+		L2Access:     800 * s,
+		BPredLookup:  60 * s,
+		BPredUpdate:  60 * s,
+		DecodeOp:     45 * s,
+		RenameOp:     55 * s,
+		IWInsert:     80 * s * iw,
+		IWWakeup:     200 * s * iw, // broadcast across all entries
+		IWSelect:     45 * s * iw,
+		RegRead:      50 * s * rf,
+		RegWrite:     60 * s * rf,
+		ROBWrite:     40 * s,
+		ROBRetire:    40 * s,
+		LSQOp:        50 * s,
+		Bypass:       50 * s,
+
+		ECTagLookup:  80 * s,
+		ECBlockRead:  250 * s,
+		ECBlockWrite: 250 * s,
+		UpdateOp:     25 * s,
+		Checkpoint:   100 * s,
+
+		ClockGlobalPerCycle: 650 * s,
+		ClockFEPerCycle:     520 * s,
+		ClockBEPerCycle:     420 * s,
+	}
+	fu := map[pipe.FUGroup]float64{
+		pipe.GIntALU:    60,
+		pipe.GIntMulDiv: 220,
+		pipe.GMem:       40, // address generation; cache access charged separately
+		pipe.GFPAdd:     150,
+		pipe.GFPMulDiv:  280,
+	}
+	for g, e := range fu {
+		u.FUOp[g] = e * s
+	}
+	return u
+}
+
+// Activity is the event record one simulation run produces; the cores fill
+// it from their statistics.
+type Activity struct {
+	TimePS int64
+	// Active (ungated) cycles per domain. The baseline core reports all
+	// cycles as back-end cycles with FECycles equal to BECycles (single
+	// grid spanning both, modelled as global+FE+BE).
+	FECycles uint64
+	BECycles uint64
+
+	FetchGroups uint64
+	Fetched     uint64 // instructions through decode
+	Renamed     uint64 // instructions through rename
+	BPLookups   uint64
+	BPUpdates   uint64
+	IWInserts   uint64
+	IWSelects   uint64
+	RegReads    uint64
+	RegWrites   uint64
+	FUOps       [pipe.NumFUGroups]uint64
+	ROBWrites   uint64
+	Retires     uint64
+	LSQOps      uint64
+
+	L1I mem.CacheStats
+	L1D mem.CacheStats
+	L2  mem.CacheStats
+
+	ECTagLookups  uint64
+	ECBlockReads  uint64
+	ECBlockWrites uint64
+	UpdateOps     uint64
+	Checkpoints   uint64
+}
+
+// Breakdown is dynamic energy per structure group, in picojoules, plus
+// leakage.
+type Breakdown struct {
+	Fetch   float64 // I-cache + branch prediction
+	Decode  float64
+	Rename  float64
+	Window  float64 // issue window insert + wakeup + select
+	RegFile float64
+	Execute float64 // FUs + bypass
+	DCache  float64
+	L2      float64
+	ROBLsq  float64
+	EC      float64 // execution cache + update stage + checkpoints
+	Clock   float64
+	Leakage float64
+}
+
+// Total returns the total energy in picojoules.
+func (b Breakdown) Total() float64 {
+	return b.Fetch + b.Decode + b.Rename + b.Window + b.RegFile + b.Execute +
+		b.DCache + b.L2 + b.ROBLsq + b.EC + b.Clock + b.Leakage
+}
+
+// Report is the full energy/power result of one run.
+type Report struct {
+	Breakdown Breakdown
+	// TotalPJ is the total energy in picojoules.
+	TotalPJ float64
+	// AvgPowerW is TotalPJ / time.
+	AvgPowerW float64
+	// LeakageFrac is the leakage share of total energy.
+	LeakageFrac float64
+}
+
+// Compute turns an activity record into an energy report.
+func Compute(act Activity, shape MachineShape, t TechParams) Report {
+	u := Units(t, shape)
+	var b Breakdown
+	b.Fetch = f(act.FetchGroups)*u.ICacheAccess +
+		f(act.BPLookups)*u.BPredLookup + f(act.BPUpdates)*u.BPredUpdate
+	b.Decode = f(act.Fetched) * u.DecodeOp
+	b.Rename = f(act.Renamed) * u.RenameOp
+	b.Window = f(act.IWInserts)*u.IWInsert + f(act.IWSelects)*(u.IWWakeup+u.IWSelect)
+	b.RegFile = f(act.RegReads)*u.RegRead + f(act.RegWrites)*u.RegWrite
+	for g := 0; g < pipe.NumFUGroups; g++ {
+		b.Execute += f(act.FUOps[g]) * u.FUOp[g]
+	}
+	b.Execute += f(act.IWSelects) * u.Bypass
+	b.DCache = f(act.L1D.Accesses()) * u.DCacheAccess
+	b.L2 = f(act.L2.Accesses()) * u.L2Access
+	b.ROBLsq = f(act.ROBWrites)*u.ROBWrite + f(act.Retires)*u.ROBRetire + f(act.LSQOps)*u.LSQOp
+	b.EC = f(act.ECTagLookups)*u.ECTagLookup +
+		f(act.ECBlockReads)*u.ECBlockRead +
+		f(act.ECBlockWrites)*u.ECBlockWrite +
+		f(act.UpdateOps)*u.UpdateOp +
+		f(act.Checkpoints)*u.Checkpoint
+
+	// One global grid plus per-domain local grids; gated cycles cost
+	// nothing. The global grid follows the faster (back-end) domain.
+	b.Clock = f(act.BECycles)*(u.ClockGlobalPerCycle+u.ClockBEPerCycle) +
+		f(act.FECycles)*u.ClockFEPerCycle
+
+	leakW := t.LeakagePowerW(shape.EffectiveDevices())
+	b.Leakage = leakW * float64(act.TimePS) // W * ps = pJ
+
+	total := b.Total()
+	rep := Report{Breakdown: b, TotalPJ: total}
+	if act.TimePS > 0 {
+		rep.AvgPowerW = total / float64(act.TimePS) // pJ/ps = W
+	}
+	if total > 0 {
+		rep.LeakageFrac = b.Leakage / total
+	}
+	return rep
+}
+
+func f(v uint64) float64 { return float64(v) }

@@ -1,0 +1,197 @@
+package power
+
+import (
+	"testing"
+
+	"flywheel/internal/cacti"
+	"flywheel/internal/pipe"
+)
+
+// sampleActivity builds a plausible baseline activity record for n cycles
+// at period ps.
+func sampleActivity(cycles uint64, periodPS int64) Activity {
+	var a Activity
+	a.BECycles = cycles
+	a.FECycles = cycles
+	a.TimePS = int64(cycles) * periodPS
+	retired := cycles * 2 // IPC 2
+	a.FetchGroups = retired / 3
+	a.Fetched = retired
+	a.Renamed = retired
+	a.BPLookups = retired / 6
+	a.BPUpdates = retired / 6
+	a.IWInserts = retired
+	a.IWSelects = retired
+	a.RegReads = retired * 2
+	a.RegWrites = retired * 7 / 10
+	a.FUOps[pipe.GIntALU] = retired * 6 / 10
+	a.FUOps[pipe.GMem] = retired * 3 / 10
+	a.ROBWrites = retired
+	a.Retires = retired
+	a.LSQOps = retired * 3 / 10
+	a.L1D.Reads = retired / 4
+	a.L1D.Writes = retired / 12
+	a.L2.Reads = retired / 100
+	return a
+}
+
+func TestTechTableComplete(t *testing.T) {
+	for _, n := range cacti.Nodes {
+		tech, err := Tech(n)
+		if err != nil {
+			t.Errorf("Tech(%v): %v", n, err)
+			continue
+		}
+		if tech.Vdd <= 0 || tech.LeakNA <= 0 || tech.CapScale <= 0 {
+			t.Errorf("Tech(%v) has non-positive fields: %+v", n, tech)
+		}
+	}
+	if _, err := Tech(cacti.Node(0.5)); err == nil {
+		t.Error("unsupported node accepted")
+	}
+}
+
+func TestDynScaleShrinksWithNode(t *testing.T) {
+	prev := 1e9
+	for _, n := range cacti.Nodes {
+		s := MustTech(n).DynScale()
+		if s >= prev {
+			t.Errorf("DynScale(%v) = %.3f, not decreasing", n, s)
+		}
+		prev = s
+	}
+	if got := MustTech(cacti.Node130).DynScale(); got != 1.0 {
+		t.Errorf("0.13um scale = %v, want 1 (calibration point)", got)
+	}
+}
+
+func TestLeakageGrowsInRelativeImportance(t *testing.T) {
+	// The paper's premise for Figure 15: dynamic power shrinks with newer
+	// nodes while leakage does not, so the leakage fraction must rise
+	// sharply from 0.13um to 0.06um.
+	shape := BaselineShape()
+	fracs := map[cacti.Node]float64{}
+	for _, n := range []cacti.Node{cacti.Node130, cacti.Node90, cacti.Node60} {
+		// Same cycle count; period shrinks with the node's baseline clock.
+		act := sampleActivity(1_000_000, cacti.BaselinePeriodPS(n))
+		rep := Compute(act, shape, MustTech(n))
+		fracs[n] = rep.LeakageFrac
+	}
+	if !(fracs[cacti.Node130] < fracs[cacti.Node90] && fracs[cacti.Node90] <= fracs[cacti.Node60]+0.02) {
+		t.Errorf("leakage fractions not rising: %v", fracs)
+	}
+	if fracs[cacti.Node130] > 0.2 {
+		t.Errorf("0.13um leakage fraction = %.2f, want modest (<20%%)", fracs[cacti.Node130])
+	}
+	if fracs[cacti.Node60] < 0.25 {
+		t.Errorf("0.06um leakage fraction = %.2f, want substantial (>25%%)", fracs[cacti.Node60])
+	}
+}
+
+func TestFlywheelShapeLeaksMore(t *testing.T) {
+	b := BaselineShape().EffectiveDevices()
+	fw := FlywheelShape().EffectiveDevices()
+	if fw <= b*1.2 {
+		t.Errorf("flywheel effective devices %.2e not clearly above baseline %.2e (EC + big RF)", fw, b)
+	}
+	if fw > b*2.0 {
+		t.Errorf("flywheel leakage ratio %.2f implausibly high", fw/b)
+	}
+}
+
+func TestEnergyScalesWithActivity(t *testing.T) {
+	tech := MustTech(cacti.Node130)
+	shape := BaselineShape()
+	small := Compute(sampleActivity(1000, 870), shape, tech)
+	big := Compute(sampleActivity(2000, 870), shape, tech)
+	ratio := big.TotalPJ / small.TotalPJ
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("doubling activity scaled energy by %.2f, want ~2", ratio)
+	}
+}
+
+func TestPowerIsEnergyOverTime(t *testing.T) {
+	tech := MustTech(cacti.Node130)
+	act := sampleActivity(1000, 870)
+	rep := Compute(act, BaselineShape(), tech)
+	want := rep.TotalPJ / float64(act.TimePS)
+	if diff := rep.AvgPowerW - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("power = %v, want %v", rep.AvgPowerW, want)
+	}
+	if rep.AvgPowerW < 0.5 || rep.AvgPowerW > 50 {
+		t.Errorf("baseline power = %.1f W, outside plausibility band", rep.AvgPowerW)
+	}
+}
+
+func TestClockGatingSavesEnergy(t *testing.T) {
+	tech := MustTech(cacti.Node130)
+	shape := FlywheelShape()
+	act := sampleActivity(1000, 870)
+	gated := act
+	gated.FECycles = 100 // front-end clock-gated 90% of the time
+	full := Compute(act, shape, tech)
+	saved := Compute(gated, shape, tech)
+	if saved.TotalPJ >= full.TotalPJ {
+		t.Error("gating the front-end grid did not save energy")
+	}
+}
+
+func TestRegFileEnergyScalesWithSize(t *testing.T) {
+	tech := MustTech(cacti.Node130)
+	small := Units(tech, BaselineShape()) // 192 entries
+	large := Units(tech, FlywheelShape()) // 512 entries
+	if large.RegRead <= small.RegRead {
+		t.Error("bigger register file not more expensive per read")
+	}
+	// The Flywheel RF is pool-banked, so access energy scales ~sqrt with
+	// capacity rather than linearly.
+	ratio := large.RegRead / small.RegRead
+	if ratio < 1.3 || ratio > 2.2 {
+		t.Errorf("512/192 RF energy ratio = %.2f, want ~1.6 (banked pools)", ratio)
+	}
+}
+
+func TestECEventsCharged(t *testing.T) {
+	tech := MustTech(cacti.Node130)
+	shape := FlywheelShape()
+	act := sampleActivity(1000, 870)
+	withEC := act
+	withEC.ECBlockReads = 500
+	withEC.ECTagLookups = 20
+	withEC.UpdateOps = 2000
+	withEC.Checkpoints = 20
+	base := Compute(act, shape, tech)
+	ec := Compute(withEC, shape, tech)
+	if ec.Breakdown.EC <= base.Breakdown.EC {
+		t.Error("EC events not charged")
+	}
+	if ec.TotalPJ <= base.TotalPJ {
+		t.Error("EC activity did not increase total energy")
+	}
+}
+
+func TestBreakdownTotalConsistent(t *testing.T) {
+	tech := MustTech(cacti.Node90)
+	rep := Compute(sampleActivity(5000, 650), FlywheelShape(), tech)
+	if got := rep.Breakdown.Total(); got != rep.TotalPJ {
+		t.Errorf("breakdown total %v != report total %v", got, rep.TotalPJ)
+	}
+}
+
+func TestFrontEndShareIsSubstantial(t *testing.T) {
+	// The Flywheel savings story requires the front-end (fetch + decode +
+	// rename + window + FE clock) to be a meaningful share of baseline
+	// dynamic energy — the paper reports ~30% total energy savings when
+	// bypassing it.
+	tech := MustTech(cacti.Node130)
+	act := sampleActivity(100_000, 870)
+	rep := Compute(act, BaselineShape(), tech)
+	b := rep.Breakdown
+	fe := b.Fetch + b.Decode + b.Rename + b.Window +
+		float64(act.FECycles)*Units(tech, BaselineShape()).ClockFEPerCycle
+	dyn := rep.TotalPJ - b.Leakage
+	share := fe / dyn
+	if share < 0.25 || share > 0.55 {
+		t.Errorf("front-end dynamic share = %.2f, want 0.25-0.55", share)
+	}
+}

@@ -1,0 +1,74 @@
+// Package power implements the energy model of the evaluation: Wattch-style
+// per-access dynamic energies for every pipeline structure, technology
+// scaling of capacitance and supply voltage, a Butts/Sohi-style static
+// leakage model using the paper's normalized per-device leakage currents
+// (Table 2), and an Alpha-21264-style clock-grid model with one global grid
+// plus one local grid per clock domain (§4).
+//
+// Absolute watts are not the point — the experiments only consume energy and
+// power *relative to the baseline at the same node* — but the accounting
+// structure matches the paper: when the Flywheel core replays traces from
+// the Execution Cache, the front-end's dynamic energy (fetch, decode,
+// rename, wake-up/select, and the front-end clock grid) disappears, paid
+// for by EC reads, the Update stage, a larger register file, and the EC's
+// extra leakage, which grows in importance at newer technology nodes.
+package power
+
+import (
+	"fmt"
+
+	"flywheel/internal/cacti"
+)
+
+// TechParams captures per-node electrical parameters (paper Table 2;
+// the 0.25/0.18 µm rows are extrapolated for completeness).
+type TechParams struct {
+	Node cacti.Node
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+	// LeakNA is the normalized leakage current per effective device in
+	// nanoamperes.
+	LeakNA float64
+	// CapScale is the structure capacitance relative to 0.13 µm.
+	CapScale float64
+}
+
+// Tech returns the parameters for a supported node.
+func Tech(n cacti.Node) (TechParams, error) {
+	switch n {
+	case cacti.Node250:
+		return TechParams{n, 2.0, 2, 0.25 / 0.13}, nil
+	case cacti.Node180:
+		return TechParams{n, 1.6, 20, 0.18 / 0.13}, nil
+	case cacti.Node130:
+		return TechParams{n, 1.4, 80, 1.0}, nil
+	case cacti.Node90:
+		return TechParams{n, 1.2, 280, 0.09 / 0.13}, nil
+	case cacti.Node60:
+		return TechParams{n, 1.1, 280, 0.06 / 0.13}, nil
+	default:
+		return TechParams{}, fmt.Errorf("power: unsupported node %v", n)
+	}
+}
+
+// MustTech is Tech for known-good nodes.
+func MustTech(n cacti.Node) TechParams {
+	t, err := Tech(n)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DynScale returns the dynamic-energy scale factor relative to 0.13 µm:
+// C(node)/C(0.13) * (Vdd/Vdd(0.13))^2.
+func (t TechParams) DynScale() float64 {
+	r := t.Vdd / 1.4
+	return t.CapScale * r * r
+}
+
+// LeakagePowerW returns the static power of the given effective device
+// count: N * I_leak * Vdd.
+func (t TechParams) LeakagePowerW(effectiveDevices float64) float64 {
+	return effectiveDevices * t.LeakNA * 1e-9 * t.Vdd
+}

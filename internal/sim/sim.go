@@ -1,0 +1,298 @@
+// Package sim assembles complete simulations: it picks the clock plan for a
+// technology node from the cacti model, fast-forwards a workload to its
+// measured phase, runs the chosen machine (baseline superscalar, Flywheel,
+// or the Register-Allocation-only configuration), and attaches the energy
+// model — producing the single-run results the experiment harness and the
+// public API consume.
+package sim
+
+import (
+	"fmt"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/cacti"
+	"flywheel/internal/core"
+	"flywheel/internal/emu"
+	"flywheel/internal/mem"
+	"flywheel/internal/ooo"
+	"flywheel/internal/pipe"
+	"flywheel/internal/power"
+	"flywheel/internal/workload"
+)
+
+// Arch selects the machine to simulate.
+type Arch int
+
+// Machine architectures.
+const (
+	// ArchBaseline is the paper's fully synchronous superscalar
+	// out-of-order baseline (Table 2).
+	ArchBaseline Arch = iota
+	// ArchFlywheel is the full proposal: dual-clock issue window,
+	// execution cache, two-phase renaming.
+	ArchFlywheel
+	// ArchRegAlloc is Figure 11's intermediate configuration: dual-clock
+	// issue window and the new register allocation without the EC.
+	ArchRegAlloc
+)
+
+// String names the architecture.
+func (a Arch) String() string {
+	switch a {
+	case ArchFlywheel:
+		return "flywheel"
+	case ArchRegAlloc:
+		return "regalloc"
+	default:
+		return "baseline"
+	}
+}
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	Workload string
+	Arch     Arch
+	// Node selects the technology point; it fixes the baseline clock (the
+	// issue-window frequency) and the power model parameters.
+	Node cacti.Node
+	// FEBoostPct / BEBoostPct are the Flywheel clock-ratio sweep knobs
+	// (§5): percentage speedup of the front-end domain and of the
+	// trace-execution back-end over the baseline clock.
+	FEBoostPct int
+	BEBoostPct int
+	// MaxInstructions bounds the measured dynamic instruction count
+	// (after the workload's warm-up); 0 runs to completion.
+	MaxInstructions uint64
+
+	// Figure 2 baseline variants.
+	ExtraFrontEndStages   int
+	PipelinedWakeupSelect bool
+}
+
+// Result is one simulation outcome.
+type Result struct {
+	Config  RunConfig
+	TimePS  int64
+	Cycles  uint64
+	Retired uint64
+	IPC     float64
+
+	// EnergyPJ and PowerW come from the power model at the run's node.
+	EnergyPJ    float64
+	PowerW      float64
+	LeakageFrac float64
+
+	// Flywheel-specific observables (zero for the baseline).
+	ECResidency float64
+	Divergences uint64
+	TraceStats  core.ECStats
+
+	Mispredicts    uint64
+	BranchAccuracy float64
+
+	// Full per-core statistics for detailed reporting.
+	Baseline *ooo.Stats
+	Flywheel *core.Stats
+}
+
+// Speedup returns other's execution time divided by r's (how much faster r
+// is than other).
+func (r Result) Speedup(other Result) float64 {
+	if r.TimePS == 0 {
+		return 0
+	}
+	return float64(other.TimePS) / float64(r.TimePS)
+}
+
+// Run executes one simulation.
+func Run(cfg RunConfig) (Result, error) {
+	w, err := workload.Get(cfg.Workload)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Node == 0 {
+		cfg.Node = cacti.Node130
+	}
+	m, err := w.NewMachine()
+	if err != nil {
+		return Result{}, err
+	}
+	limit := uint64(0)
+	if cfg.MaxInstructions > 0 {
+		limit = m.Retired + cfg.MaxInstructions
+	}
+	stream := emu.NewStream(m, limit)
+	period := cacti.BaselinePeriodPS(cfg.Node)
+
+	tech, err := power.Tech(cfg.Node)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Functional warming: replay the skipped initialization phase into the
+	// core's caches and branch predictor so measurement starts from
+	// realistic state (the paper fast-forwards 500M instructions).
+	warm := func(warmer *pipe.Warmer) error {
+		if w.WarmAddr() == 0 {
+			return nil
+		}
+		wm := emu.New(w.Program())
+		for wm.PC != w.WarmAddr() && !wm.Halted {
+			tr, err := wm.Step()
+			if err != nil {
+				return fmt.Errorf("sim warm %s: %w", cfg.Workload, err)
+			}
+			warmer.Observe(tr)
+		}
+		warmer.Finish()
+		return nil
+	}
+
+	res := Result{Config: cfg}
+	switch cfg.Arch {
+	case ArchBaseline:
+		c := ooo.New(baselineConfig(cfg, period), stream)
+		if err := warm(c.Warmer()); err != nil {
+			return Result{}, err
+		}
+		stats, err := c.Run()
+		if err != nil {
+			return Result{}, fmt.Errorf("sim %s/%s: %w", cfg.Workload, cfg.Arch, err)
+		}
+		rep := power.Compute(baselineActivity(stats), power.BaselineShape(), tech)
+		res.TimePS = stats.TimePS
+		res.Cycles = stats.Cycles
+		res.Retired = stats.Retired
+		res.IPC = stats.IPC
+		res.Mispredicts = stats.Mispredicts
+		res.BranchAccuracy = stats.BranchAccuracy
+		res.EnergyPJ = rep.TotalPJ
+		res.PowerW = rep.AvgPowerW
+		res.LeakageFrac = rep.LeakageFrac
+		res.Baseline = &stats
+	case ArchFlywheel, ArchRegAlloc:
+		c := core.New(flywheelConfig(cfg, period), stream)
+		if err := warm(c.Warmer()); err != nil {
+			return Result{}, err
+		}
+		stats, err := c.Run()
+		if err != nil {
+			return Result{}, fmt.Errorf("sim %s/%s: %w", cfg.Workload, cfg.Arch, err)
+		}
+		rep := power.Compute(stats.Activity(), power.FlywheelShape(), tech)
+		res.TimePS = stats.TimePS
+		res.Cycles = stats.Cycles()
+		res.Retired = stats.Retired
+		res.IPC = stats.IPC
+		res.Mispredicts = stats.Mispredicts
+		res.BranchAccuracy = stats.BranchAccuracy
+		res.ECResidency = stats.ECResidency
+		res.Divergences = stats.Divergences
+		res.TraceStats = stats.EC
+		res.EnergyPJ = rep.TotalPJ
+		res.PowerW = rep.AvgPowerW
+		res.LeakageFrac = rep.LeakageFrac
+		res.Flywheel = &stats
+	default:
+		return Result{}, fmt.Errorf("sim: unknown architecture %d", cfg.Arch)
+	}
+	return res, nil
+}
+
+func baselineConfig(cfg RunConfig, period int64) ooo.Config {
+	c := ooo.DefaultConfig()
+	c.PeriodPS = period
+	c.Mem = mem.DefaultHierarchyConfig(period)
+	c.ExtraFrontEndStages = cfg.ExtraFrontEndStages
+	c.PipelinedWakeupSelect = cfg.PipelinedWakeupSelect
+	c.MaxCycles = 500_000_000
+	return c
+}
+
+func flywheelConfig(cfg RunConfig, period int64) core.Config {
+	c := core.DefaultConfig()
+	c.BasePeriodPS = period
+	c.Mem = mem.DefaultHierarchyConfig(period)
+	c.FEBoostPct = cfg.FEBoostPct
+	c.BEBoostPct = cfg.BEBoostPct
+	c.ECEnabled = cfg.Arch == ArchFlywheel
+	c.MaxCycles = 500_000_000
+	return c
+}
+
+// baselineActivity converts baseline statistics into the power model's
+// event record. The baseline is a single clock domain; its grid is modelled
+// as global + front-end + back-end local grids all ticking every cycle.
+func baselineActivity(s ooo.Stats) power.Activity {
+	return power.Activity{
+		TimePS:      s.TimePS,
+		FECycles:    s.Cycles,
+		BECycles:    s.Cycles,
+		FetchGroups: s.FetchGroups,
+		Fetched:     s.Fetched,
+		Renamed:     s.Dispatched,
+		BPLookups:   s.PredLookups,
+		BPUpdates:   s.PredUpdates,
+		IWInserts:   s.IWInserted,
+		IWSelects:   s.IWSelected,
+		RegReads:    s.RegReads,
+		RegWrites:   s.RegWrites,
+		FUOps:       s.FUIssued,
+		ROBWrites:   s.Dispatched,
+		Retires:     s.Retired,
+		LSQOps:      s.L1D.Accesses() + s.Forwards,
+		L1I:         s.L1I,
+		L1D:         s.L1D,
+		L2:          s.L2,
+	}
+}
+
+// RunSource assembles the given program text and runs it like Run does for
+// a registered workload (no warm-up: the whole program is measured). The
+// Workload field of cfg is used only for labeling.
+func RunSource(name, source string, cfg RunConfig) (Result, error) {
+	prog, err := asm.Assemble(name, source)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Node == 0 {
+		cfg.Node = cacti.Node130
+	}
+	m := emu.New(prog)
+	limit := cfg.MaxInstructions
+	stream := emu.NewStream(m, limit)
+	period := cacti.BaselinePeriodPS(cfg.Node)
+	tech, err := power.Tech(cfg.Node)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Config: cfg}
+	switch cfg.Arch {
+	case ArchBaseline:
+		c := ooo.New(baselineConfig(cfg, period), stream)
+		stats, err := c.Run()
+		if err != nil {
+			return Result{}, fmt.Errorf("sim %s/%s: %w", name, cfg.Arch, err)
+		}
+		rep := power.Compute(baselineActivity(stats), power.BaselineShape(), tech)
+		res.TimePS, res.Cycles, res.Retired, res.IPC = stats.TimePS, stats.Cycles, stats.Retired, stats.IPC
+		res.Mispredicts, res.BranchAccuracy = stats.Mispredicts, stats.BranchAccuracy
+		res.EnergyPJ, res.PowerW, res.LeakageFrac = rep.TotalPJ, rep.AvgPowerW, rep.LeakageFrac
+		res.Baseline = &stats
+	case ArchFlywheel, ArchRegAlloc:
+		c := core.New(flywheelConfig(cfg, period), stream)
+		stats, err := c.Run()
+		if err != nil {
+			return Result{}, fmt.Errorf("sim %s/%s: %w", name, cfg.Arch, err)
+		}
+		rep := power.Compute(stats.Activity(), power.FlywheelShape(), tech)
+		res.TimePS, res.Cycles, res.Retired, res.IPC = stats.TimePS, stats.Cycles(), stats.Retired, stats.IPC
+		res.Mispredicts, res.BranchAccuracy = stats.Mispredicts, stats.BranchAccuracy
+		res.ECResidency, res.Divergences, res.TraceStats = stats.ECResidency, stats.Divergences, stats.EC
+		res.EnergyPJ, res.PowerW, res.LeakageFrac = rep.TotalPJ, rep.AvgPowerW, rep.LeakageFrac
+		res.Flywheel = &stats
+	default:
+		return Result{}, fmt.Errorf("sim: unknown architecture %d", cfg.Arch)
+	}
+	return res, nil
+}

@@ -1,0 +1,21 @@
+package sim
+
+import (
+	"testing"
+
+	"flywheel/internal/cacti"
+)
+
+func TestSingleRunCompletes(t *testing.T) {
+	res, err := Run(RunConfig{
+		Workload: "ijpeg", Arch: ArchFlywheel, Node: cacti.Node130,
+		FEBoostPct: 50, BEBoostPct: 50, MaxInstructions: 50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired < 50_000 {
+		t.Errorf("retired %d", res.Retired)
+	}
+	t.Logf("time=%dps ipc=%.2f resid=%.2f", res.TimePS, res.IPC, res.ECResidency)
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("divide by zero not guarded")
+	}
+}
+
+func TestPctAndF(t *testing.T) {
+	if got := Pct(0.876); got != "87.6%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F(1.23456, 2); got != "1.23" {
+		t.Errorf("F = %q", got)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := NewTable("Demo", "bench", "value")
+	tbl.Add("gcc", "1.54")
+	tbl.AddF("vpr", 2, 0.915)
+	s := tbl.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "gcc") || !strings.Contains(s, "0.92") {
+		t.Errorf("table output missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	tbl.Add("x", "y")
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| --- | --- |") || !strings.Contains(md, "| x | y |") {
+		t.Errorf("markdown = %q", md)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.Add("only")
+	if s := tbl.String(); !strings.Contains(s, "only") {
+		t.Errorf("ragged row lost: %q", s)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("geomean = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean != 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("negative input not rejected")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean != 0")
+	}
+}

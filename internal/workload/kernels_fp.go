@@ -1,0 +1,235 @@
+package workload
+
+// Floating-point benchmark proxies.
+
+func init() {
+	register(&Workload{
+		Name:      "mesa",
+		WarmLabel: "mpass",
+		Suite:     "SPEC2000",
+		FP:        true,
+		Description: "3D-graphics proxy: a 3x4 matrix transform applied to an array of " +
+			"vertices, the classic geometry-pipeline inner loop. Long chains of " +
+			"independent FP multiplies and adds with perfectly predictable control: " +
+			"high ILP, near-total EC residency.",
+		Source: `
+; ---- init: 4096 vertices (x,y,z) from a counter ----
+	la  r1, verts
+	li  r2, 2048
+	li  r3, 1
+minit:
+	fcvtif f1, r3
+	fsd  f1, 0(r1)
+	addi r4, r3, 7
+	fcvtif f2, r4
+	fsd  f2, 8(r1)
+	addi r4, r3, 13
+	fcvtif f3, r4
+	fsd  f3, 16(r1)
+	addi r3, r3, 3
+	addi r1, r1, 24
+	addi r2, r2, -1
+	bnez r2, minit
+; ---- matrix coefficients in f20..f31 ----
+	la  r1, mat
+	fld f20, 0(r1)
+	fld f21, 8(r1)
+	fld f22, 16(r1)
+	fld f23, 24(r1)
+	fld f24, 32(r1)
+	fld f25, 40(r1)
+	fld f26, 48(r1)
+	fld f27, 56(r1)
+	fld f28, 64(r1)
+	fld f29, 72(r1)
+	fld f30, 80(r1)
+	fld f31, 88(r1)
+; ---- transform passes ----
+	li  r20, 24
+mpass:
+	la  r10, verts
+	li  r12, 2048
+mloop:
+	fld  f1, 0(r10)
+	fld  f2, 8(r10)
+	fld  f3, 16(r10)
+	fmul f4, f1, f20      ; x' = x*m00 + y*m01 + z*m02 + m03
+	fmul f5, f2, f21
+	fmul f6, f3, f22
+	fadd f4, f4, f5
+	fadd f4, f4, f6
+	fadd f4, f4, f23
+	fmul f7, f1, f24      ; y'
+	fmul f8, f2, f25
+	fmul f9, f3, f26
+	fadd f7, f7, f8
+	fadd f7, f7, f9
+	fadd f7, f7, f27
+	fmul f10, f1, f28     ; z'
+	fmul f11, f2, f29
+	fmul f12, f3, f30
+	fadd f10, f10, f11
+	fadd f10, f10, f12
+	fadd f10, f10, f31
+	fsd  f4, 0(r10)
+	fsd  f7, 8(r10)
+	fsd  f10, 16(r10)
+	addi r10, r10, 24
+	addi r12, r12, -1
+	bnez r12, mloop
+	addi r20, r20, -1
+	bnez r20, mpass
+	halt
+.data
+mat:
+	.double 0.99, 0.01, -0.02, 0.1
+	.double -0.01, 0.98, 0.03, 0.2
+	.double 0.02, -0.03, 0.97, 0.3
+verts:
+	.space 49152
+`,
+	})
+
+	register(&Workload{
+		Name:      "equake",
+		WarmLabel: "epass",
+		Suite:     "SPEC2000",
+		FP:        true,
+		Description: "Earthquake-simulation proxy: sparse matrix-vector multiply with " +
+			"indirection — value and column-index arrays drive gathered loads from a " +
+			"512 KiB vector, producing L1/L2 misses under predictable loop control. " +
+			"Like its namesake it spends nearly all time in traces but is memory " +
+			"bound; the paper reports its energy savings among the largest.",
+		Source: `
+; ---- init: 16384 nonzeros: values and spread column indices; x vector ----
+	la  r1, cols
+	la  r2, vals
+	li  r3, 2048
+	li  r4, 88172645
+einit:
+	slli r5, r4, 13
+	xor  r4, r4, r5
+	srli r5, r4, 7
+	xor  r4, r4, r5
+	slli r5, r4, 17
+	xor  r4, r4, r5
+	slli r5, r4, 53       ; low 11 bits: column index 0..2047
+	srli r5, r5, 53
+	sd   r5, 0(r1)
+	fcvtif f1, r4
+	fsd  f1, 0(r2)
+	addi r1, r1, 8
+	addi r2, r2, 8
+	addi r3, r3, -1
+	bnez r3, einit
+	la  r1, xvec
+	li  r3, 2048
+	li  r4, 3
+exinit:
+	fcvtif f1, r4
+	fsd  f1, 0(r1)
+	addi r4, r4, 7
+	addi r1, r1, 8
+	addi r3, r3, -1
+	bnez r3, exinit
+; ---- SpMV passes: rows of 16 nonzeros ----
+	li  r20, 120
+epass:
+	la  r10, vals
+	la  r11, cols
+	la  r13, yvec
+	li  r12, 128          ; rows
+erow:
+	li   r14, 16          ; nonzeros per row
+	fcvtif f4, r0         ; sum = 0
+enz:
+	fld  f1, 0(r10)
+	ld   r5, 0(r11)
+	slli r5, r5, 3
+	la   r6, xvec
+	add  r6, r6, r5
+	fld  f2, 0(r6)        ; gathered load
+	fmul f3, f1, f2
+	fadd f4, f4, f3
+	addi r10, r10, 8
+	addi r11, r11, 8
+	addi r14, r14, -1
+	bnez r14, enz
+	fsd  f4, 0(r13)
+	addi r13, r13, 8
+	addi r12, r12, -1
+	bnez r12, erow
+	addi r20, r20, -1
+	bnez r20, epass
+	halt
+.data
+vals:
+	.space 16384
+cols:
+	.space 16384
+xvec:
+	.space 16384
+yvec:
+	.space 8192
+`,
+	})
+
+	register(&Workload{
+		Name:      "turb3d",
+		WarmLabel: "tpass",
+		Suite:     "SPEC95",
+		FP:        true,
+		Description: "Turbulence-simulation proxy: a 1D/2D stencil relaxation over a " +
+			"64 Ki-point field — each point becomes a weighted sum of itself and four " +
+			"neighbours. Wide independent FP work per iteration and fully predictable " +
+			"loops: the super-linear clock-scaling case of Figure 12.",
+		Source: `
+; ---- init field ----
+	la  r1, field
+	li  r2, 4224
+	li  r3, 5
+tinit:
+	fcvtif f1, r3
+	fsd  f1, 0(r1)
+	addi r3, r3, 11
+	addi r1, r1, 8
+	addi r2, r2, -1
+	bnez r2, tinit
+	la  r1, coef
+	fld f20, 0(r1)        ; centre weight
+	fld f21, 8(r1)        ; near weight
+	fld f22, 16(r1)       ; far weight
+; ---- relaxation sweeps ----
+	li  r20, 30
+tpass:
+	la  r10, field
+	addi r10, r10, 512    ; skip 64-element halo
+	li  r12, 4032         ; interior points
+tloop:
+	fld  f1, 0(r10)       ; centre
+	fld  f2, -8(r10)      ; left
+	fld  f3, 8(r10)       ; right
+	fld  f4, -512(r10)    ; up (row stride 64)
+	fld  f5, 512(r10)     ; down
+	fmul f6, f1, f20
+	fadd f7, f2, f3
+	fmul f7, f7, f21
+	fadd f8, f4, f5
+	fmul f8, f8, f22
+	fadd f6, f6, f7
+	fadd f6, f6, f8
+	fsd  f6, 0(r10)
+	addi r10, r10, 8
+	addi r12, r12, -1
+	bnez r12, tloop
+	addi r20, r20, -1
+	bnez r20, tpass
+	halt
+.data
+coef:
+	.double 0.6, 0.15, 0.05
+field:
+	.space 33792
+`,
+	})
+}

@@ -1,0 +1,132 @@
+// Package workload provides the benchmark-proxy kernels used by the
+// experiment harness. The paper evaluates SPEC95/SPEC2000 binaries; those
+// are not available here (and the ISA differs), so each benchmark named in
+// the paper's figures is replaced by a hand-written assembly kernel that
+// reproduces the *characteristics* that drive the paper's experiments:
+//
+//   - branch predictability (it determines trace divergences and therefore
+//     EC residency and mispredict penalties),
+//   - instruction-level parallelism (it determines issue-unit width and the
+//     benefit of a faster front-end filling the window),
+//   - memory footprint and access pattern (cache hit rates),
+//   - integer/floating-point mix (functional-unit pressure),
+//   - destination-register reuse (pressure on the per-architected-register
+//     rename pools — the gzip/vpr/parser effect of Figure 11).
+//
+// See DESIGN.md ("Substitutions") for the fidelity argument. The mapping
+// from kernel to namesake is documented per workload below.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/emu"
+)
+
+// Workload is one runnable benchmark proxy.
+type Workload struct {
+	// Name matches the benchmark label used in the paper's figures.
+	Name string
+	// Suite is "SPEC95" or "SPEC2000" (as in the paper's benchmark list).
+	Suite string
+	// FP reports a floating-point-dominated kernel.
+	FP bool
+	// Description explains what the kernel does and which property of the
+	// namesake benchmark it reproduces.
+	Description string
+	// Source is the assembly text (assembled lazily, cached).
+	Source string
+	// WarmLabel names the label where initialization ends and the measured
+	// phase begins; harnesses fast-forward the functional machine to it
+	// before attaching a timing core (the paper fast-forwards 500M
+	// instructions before measuring).
+	WarmLabel string
+
+	prog *asm.Program
+}
+
+// WarmAddr returns the address of the measurement-phase entry, or 0 when
+// the kernel has no initialization to skip.
+func (w *Workload) WarmAddr() uint64 {
+	if w.WarmLabel == "" {
+		return 0
+	}
+	addr, ok := w.Program().Symbols[w.WarmLabel]
+	if !ok {
+		panic(fmt.Sprintf("workload %s: warm label %q not defined", w.Name, w.WarmLabel))
+	}
+	return addr
+}
+
+// NewMachine builds a functional machine fast-forwarded to the warm point.
+func (w *Workload) NewMachine() (*emu.Machine, error) {
+	m := emu.New(w.Program())
+	if addr := w.WarmAddr(); addr != 0 {
+		if _, err := m.RunUntil(addr, 50_000_000); err != nil {
+			return nil, fmt.Errorf("workload %s: warm-up: %w", w.Name, err)
+		}
+	}
+	return m, nil
+}
+
+// Program assembles the kernel (cached).
+func (w *Workload) Program() *asm.Program {
+	if w.prog == nil {
+		w.prog = asm.MustAssemble(w.Name+".s", w.Source)
+	}
+	return w.prog
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// Get returns a workload by name.
+func Get(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return w, nil
+}
+
+// MustGet returns a workload or panics.
+func MustGet(name string) *Workload {
+	w, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Names lists all workloads in the paper's figure order.
+func Names() []string {
+	// Order used on the x-axis of Figures 2 and 11-15.
+	return []string{"ijpeg", "gcc", "gzip", "vpr", "mesa", "equake", "parser", "vortex", "bzip2", "turb3d"}
+}
+
+// All returns every workload in figure order.
+func All() []*Workload {
+	out := make([]*Workload, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Sorted returns every registered workload sorted by name (for tests).
+func Sorted() []*Workload {
+	out := make([]*Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
