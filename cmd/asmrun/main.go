@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"flywheel/internal/asm"
@@ -18,56 +19,72 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses the flags and assembles, disassembles or executes the program;
+// it is the whole command, factored out of main so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asmrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		limit  = flag.Uint64("limit", 100_000_000, "maximum executed instructions")
-		regs   = flag.Bool("regs", false, "dump all non-zero registers at exit")
-		disasm = flag.Bool("disasm", false, "print the disassembly instead of running")
+		limit  = fs.Uint64("limit", 100_000_000, "maximum executed instructions")
+		regs   = fs.Bool("regs", false, "dump all non-zero registers at exit")
+		disasm = fs.Bool("disasm", false, "print the disassembly instead of running")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: asmrun [flags] prog.s")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	path := flag.Arg(0)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: asmrun [flags] prog.s")
+		return 2
+	}
+	path := fs.Arg(0)
 	src, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "asmrun:", err)
+		return 1
 	}
-	prog, err := asm.Assemble(path, string(src))
+	if err := runSource(path, string(src), *limit, *regs, *disasm, stdout); err != nil {
+		fmt.Fprintln(stderr, "asmrun:", err)
+		return 1
+	}
+	return 0
+}
+
+// runSource assembles and runs (or disassembles) one program.
+func runSource(path, src string, limit uint64, regs, disasm bool, stdout io.Writer) error {
+	prog, err := asm.Assemble(path, src)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *disasm {
+	if disasm {
 		for i, in := range prog.Code {
-			fmt.Printf("%#06x:  %s\n", asm.CodeBase+uint64(i*isa.InstBytes), in)
+			fmt.Fprintf(stdout, "%#06x:  %s\n", asm.CodeBase+uint64(i*isa.InstBytes), in)
 		}
-		return
+		return nil
 	}
 	m := emu.New(prog)
-	n, err := m.Run(*limit)
+	n, err := m.Run(limit)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	status := "halted"
 	if !m.Halted {
 		status = "instruction limit reached"
 	}
-	fmt.Printf("%s: %s after %d instructions (pc=%#x)\n", path, status, n, m.PC)
-	if *regs {
+	fmt.Fprintf(stdout, "%s: %s after %d instructions (pc=%#x)\n", path, status, n, m.PC)
+	if regs {
 		for i, v := range m.IntRegs {
 			if v != 0 {
-				fmt.Printf("  r%-2d = %d (%#x)\n", i, int64(v), v)
+				fmt.Fprintf(stdout, "  r%-2d = %d (%#x)\n", i, int64(v), v)
 			}
 		}
 		for i, v := range m.FPRegs {
 			if v != 0 {
-				fmt.Printf("  f%-2d = %g\n", i, v)
+				fmt.Fprintf(stdout, "  f%-2d = %g\n", i, v)
 			}
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "asmrun:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testProgram = `
+.text
+.global main
+main:
+	addi r1, r0, 10
+	add  r2, r1, r1
+	halt
+`
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExecutesProgram(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-regs", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "halted after 3 instructions") {
+		t.Errorf("output %q lacks halt status", s)
+	}
+	if !strings.Contains(s, "r1 ") || !strings.Contains(s, "= 10") {
+		t.Errorf("output %q lacks the r1=10 register dump", s)
+	}
+	if !strings.Contains(s, "= 20") {
+		t.Errorf("output %q lacks the r2=20 register dump", s)
+	}
+}
+
+func TestRunDisassembles(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-disasm", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"addi r1, r0, 10", "add r2, r1, r1", "halt"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("disassembly lacks %q", want)
+		}
+	}
+}
+
+func TestRunInstructionLimit(t *testing.T) {
+	path := writeProgram(t, `
+.text
+.global main
+main:
+loop:
+	addi r1, r1, 1
+	b loop
+`)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-limit", "10", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "instruction limit reached") {
+		t.Errorf("output %q lacks the limit status", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.s")}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	errb.Reset()
+	bad := writeProgram(t, ".text\nmain:\n\tnot-an-op r1\n")
+	if code := run([]string{bad}, &out, &errb); code != 1 {
+		t.Errorf("bad program: exit %d, want 1", code)
+	}
+	if errb.Len() == 0 {
+		t.Error("bad program produced no diagnostic")
+	}
+}

@@ -2,15 +2,16 @@
 //
 // Examples:
 //
-//	experiments -fig 1             # Figure 1 (latency scaling, analytic)
-//	experiments -fig t1            # Table 1 (module frequencies)
-//	experiments -fig 12 -n 500000  # Figure 12 (performance sweep)
-//	experiments -fig all -md       # everything, as markdown
+//	experiments -fig 1                  # Figure 1 (latency scaling, analytic)
+//	experiments -fig t1                 # Table 1 (module frequencies)
+//	experiments -fig 12 -n 500000       # Figure 12 (performance sweep)
+//	experiments -fig all -md -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,26 +21,46 @@ import (
 )
 
 func main() {
-	var (
-		fig      = flag.String("fig", "all", "experiment: 1, 2, t1, t2, 11, 12, 13, 14, 15, residency or all")
-		n        = flag.Uint64("n", 300_000, "measured dynamic instructions per run")
-		node     = flag.Float64("node", 0.13, "technology node in um for figures 2 and 11-14")
-		markdown = flag.Bool("md", false, "emit markdown tables")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	opt := experiments.Options{Instructions: *n, Node: cacti.Node(*node)}
+// run parses the flags and regenerates the requested experiments; it is the
+// whole command, factored out of main so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fig      = fs.String("fig", "all", "experiment: 1, 2, t1, t2, 11, 12, 13, 14, 15, residency or all (comma-separated)")
+		n        = fs.Uint64("n", 300_000, "measured dynamic instructions per run")
+		node     = fs.Float64("node", 0.13, "technology node in um for figures 2 and 11-14")
+		parallel = fs.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+		markdown = fs.Bool("md", false, "emit markdown tables")
+	)
+	fs.Uint64Var(n, "instructions", 300_000, "alias for -n")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opt := experiments.Options{Instructions: *n, Node: cacti.Node(*node), Parallel: *parallel}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
-	all := want["all"]
+	if err := emitFigures(opt, want, *markdown, stdout); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+	return 0
+}
 
+// emitFigures renders every requested experiment to w.
+func emitFigures(opt experiments.Options, want map[string]bool, markdown bool, w io.Writer) error {
+	all := want["all"]
 	emit := func(t *stats.Table) {
-		if *markdown {
-			fmt.Println(t.Markdown())
+		if markdown {
+			fmt.Fprintln(w, t.Markdown())
 		} else {
-			fmt.Println(t.String())
+			fmt.Fprintln(w, t.String())
 		}
 	}
 
@@ -54,17 +75,23 @@ func main() {
 	}
 	if all || want["2"] {
 		t, err := experiments.Figure2(opt)
-		check(err)
+		if err != nil {
+			return err
+		}
 		emit(t)
 	}
 	if all || want["11"] {
 		t, err := experiments.Figure11(opt)
-		check(err)
+		if err != nil {
+			return err
+		}
 		emit(t)
 	}
 	if all || want["12"] || want["13"] || want["14"] || want["residency"] {
 		d, err := experiments.Sweep(opt)
-		check(err)
+		if err != nil {
+			return err
+		}
 		if all || want["12"] {
 			emit(d.Figure12())
 		}
@@ -80,14 +107,10 @@ func main() {
 	}
 	if all || want["15"] {
 		t, err := experiments.Figure15(opt)
-		check(err)
+		if err != nil {
+			return err
+		}
 		emit(t)
 	}
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	return nil
 }

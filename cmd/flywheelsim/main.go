@@ -1,44 +1,87 @@
 // Command flywheelsim runs one benchmark on one machine configuration and
 // prints the detailed results: timing, trace behaviour, cache and predictor
-// statistics, and the energy model's verdict.
+// statistics, and the energy model's verdict. With -bench all the runs fan
+// out across a worker pool.
 //
 // Examples:
 //
 //	flywheelsim -bench gcc -arch flywheel -fe 50 -be 50 -node 0.13 -n 500000
-//	flywheelsim -bench all -arch baseline -n 200000
+//	flywheelsim -bench all -arch baseline -n 200000 -parallel 8
 //	flywheelsim -compare -bench vortex -fe 100 -be 50
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"flywheel/internal/cacti"
+	"flywheel/internal/lab"
 	"flywheel/internal/sim"
 	"flywheel/internal/stats"
 	"flywheel/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses the flags, fans the requested runs out through the lab and
+// renders the tables; it is the whole command, factored out of main so
+// tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flywheelsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench   = flag.String("bench", "all", "benchmark name or 'all'")
-		arch    = flag.String("arch", "flywheel", "baseline | flywheel | regalloc")
-		fe      = flag.Int("fe", 0, "front-end clock boost percent (0..100)")
-		be      = flag.Int("be", 0, "back-end trace-execution clock boost percent (0..50)")
-		node    = flag.Float64("node", 0.13, "technology node in um (0.18, 0.13, 0.09, 0.06)")
-		n       = flag.Uint64("n", 500_000, "measured dynamic instructions (0 = to completion)")
-		compare = flag.Bool("compare", false, "also run the baseline and print relative numbers")
+		bench    = fs.String("bench", "all", "benchmark name or 'all'")
+		arch     = fs.String("arch", "flywheel", "baseline | flywheel | regalloc")
+		fe       = fs.Int("fe", 0, "front-end clock boost percent (0..100)")
+		be       = fs.Int("be", 0, "back-end trace-execution clock boost percent (0..50)")
+		node     = fs.Float64("node", 0.13, "technology node in um (0.18, 0.13, 0.09, 0.06)")
+		n        = fs.Uint64("n", 500_000, "measured dynamic instructions (0 = to completion)")
+		parallel = fs.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+		compare  = fs.Bool("compare", false, "also run the baseline and print relative numbers")
 	)
-	flag.Parse()
+	fs.Uint64Var(n, "instructions", 500_000, "alias for -n")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	archv, err := parseArch(*arch)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "flywheelsim:", err)
+		return 1
 	}
 	names := []string{*bench}
 	if *bench == "all" {
 		names = workload.Names()
+	}
+
+	// Build the whole job list up front — target runs first, each followed
+	// by its baseline when comparing — and let the lab fan it out.
+	var jobs []lab.Job
+	for _, name := range names {
+		job := lab.Job{
+			Workload:        name,
+			Arch:            archv,
+			Node:            cacti.Node(*node),
+			FEBoostPct:      *fe,
+			BEBoostPct:      *be,
+			MaxInstructions: *n,
+		}
+		jobs = append(jobs, job)
+		if *compare {
+			base := job
+			base.Arch = sim.ArchBaseline
+			base.FEBoostPct, base.BEBoostPct = 0, 0
+			jobs = append(jobs, base)
+		}
+	}
+	results, err := lab.Run(jobs, lab.Options{Workers: *parallel})
+	if err != nil {
+		fmt.Fprintln(stderr, "flywheelsim:", err)
+		return 1
 	}
 
 	tbl := stats.NewTable(
@@ -50,19 +93,12 @@ func main() {
 			"bench", "speedup", "energy-ratio", "power-ratio")
 	}
 
-	for _, name := range names {
-		cfg := sim.RunConfig{
-			Workload:        name,
-			Arch:            archv,
-			Node:            cacti.Node(*node),
-			FEBoostPct:      *fe,
-			BEBoostPct:      *be,
-			MaxInstructions: *n,
-		}
-		res, err := sim.Run(cfg)
-		if err != nil {
-			fatal(err)
-		}
+	stride := 1
+	if *compare {
+		stride = 2
+	}
+	for i, name := range names {
+		res := results[stride*i]
 		tbl.Add(name,
 			stats.F(float64(res.TimePS)/1e6, 1),
 			stats.F(res.IPC, 2),
@@ -73,12 +109,7 @@ func main() {
 			stats.F(res.PowerW, 2),
 		)
 		if *compare {
-			bcfg := cfg
-			bcfg.Arch = sim.ArchBaseline
-			base, err := sim.Run(bcfg)
-			if err != nil {
-				fatal(err)
-			}
+			base := results[stride*i+1]
 			compTbl.Add(name,
 				stats.F(res.Speedup(base), 3),
 				stats.F(res.EnergyPJ/base.EnergyPJ, 3),
@@ -86,10 +117,11 @@ func main() {
 			)
 		}
 	}
-	fmt.Println(tbl.String())
+	fmt.Fprintln(stdout, tbl.String())
 	if compTbl != nil {
-		fmt.Println(compTbl.String())
+		fmt.Fprintln(stdout, compTbl.String())
 	}
+	return 0
 }
 
 func parseArch(s string) (sim.Arch, error) {
@@ -103,9 +135,4 @@ func parseArch(s string) (sim.Arch, error) {
 	default:
 		return 0, fmt.Errorf("unknown architecture %q (want baseline, flywheel or regalloc)", s)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "flywheelsim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleBench(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "gzip", "-arch", "flywheel", "-fe", "50", "-be", "50", "-n", "3000"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "gzip") {
+		t.Error("output lacks the benchmark row")
+	}
+	if !strings.Contains(s, "FE+50% BE+50%") {
+		t.Error("output lacks the configuration title")
+	}
+}
+
+func TestRunCompareParallel(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "vpr", "-compare", "-fe", "50", "-be", "50", "-n", "3000", "-parallel", "4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "relative to baseline") {
+		t.Error("output lacks the comparison table")
+	}
+}
+
+func TestRunAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	var serial, parallel, errb bytes.Buffer
+	if code := run([]string{"-bench", "all", "-arch", "baseline", "-n", "2000", "-parallel", "1"}, &serial, &errb); code != 0 {
+		t.Fatalf("serial: exit %d, stderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-bench", "all", "-arch", "baseline", "-n", "2000", "-parallel", "8"}, &parallel, &errb); code != 0 {
+		t.Fatalf("parallel: exit %d, stderr: %s", code, errb.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Error("-parallel 1 and -parallel 8 output differ")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-arch", "warp-drive"}, &out, &errb); code != 1 {
+		t.Errorf("bad arch: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "warp-drive") {
+		t.Errorf("stderr %q does not name the bad architecture", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-bench", "no-such-bench", "-n", "2000"}, &out, &errb); code != 1 {
+		t.Errorf("bad bench: exit %d, want 1", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-not-a-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestParseArch(t *testing.T) {
+	for in, want := range map[string]string{
+		"baseline": "baseline", "flywheel": "flywheel", "regalloc": "regalloc",
+	} {
+		a, err := parseArch(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != want {
+			t.Errorf("parseArch(%q) = %v, want %s", in, a, want)
+		}
+	}
+	if _, err := parseArch("nope"); err == nil {
+		t.Error("parseArch accepted an unknown architecture")
+	}
+}

@@ -1,0 +1,57 @@
+// Parallelsweep: regenerate the paper's Figure 12 measurement — every
+// benchmark at every front-end boost — in one flywheel.Sweep call. The runs
+// fan out across a worker pool sized to the machine, duplicates are served
+// from the run cache, and a progress callback reports completion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flywheel"
+)
+
+func main() {
+	boosts := []int{0, 25, 50, 75, 100}
+	base := flywheel.Config{
+		Arch:         flywheel.ArchFlywheel,
+		BEBoostPct:   50,
+		Instructions: 50_000,
+	}
+	benches := flywheel.Benchmarks()
+
+	results, err := flywheel.Sweep(base, benches, boosts, flywheel.SweepOptions{
+		Progress: func(done, total int) {
+			if done%10 == 0 || done == total {
+				fmt.Printf("\r%d/%d runs", done, total)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Baselines for normalization, batched through the same machinery.
+	baseCfgs := make([]flywheel.Config, len(benches))
+	for i, b := range benches {
+		baseCfgs[i] = flywheel.Config{Benchmark: b, Instructions: base.Instructions}
+	}
+	baselines, err := flywheel.RunMany(baseCfgs, flywheel.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s", "bench")
+	for _, fe := range boosts {
+		fmt.Printf("  FE+%3d%%", fe)
+	}
+	fmt.Println()
+	for i, b := range benches {
+		fmt.Printf("%-8s", b)
+		for j := range boosts {
+			fmt.Printf("  %7.3f", results[i][j].Speedup(baselines[i]))
+		}
+		fmt.Println()
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"flywheel/internal/cacti"
+	"flywheel/internal/lab"
 	"flywheel/internal/sim"
 	"flywheel/internal/workload"
 )
@@ -134,8 +135,9 @@ func (r Result) Speedup(base Result) float64 {
 	return float64(base.TimePS) / float64(r.TimePS)
 }
 
-// Run executes one simulation.
-func Run(cfg Config) (Result, error) {
+// job converts the public configuration into the lab's job spec, applying
+// the public defaults (300k instructions, the 0.13 µm node).
+func (cfg Config) job() lab.Job {
 	instructions := cfg.Instructions
 	if instructions == 0 && !cfg.RunToCompletion {
 		instructions = 300_000
@@ -147,18 +149,95 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Node == 0 {
 		node = cacti.Node130
 	}
-	res, err := sim.Run(sim.RunConfig{
+	return lab.Job{
 		Workload:        cfg.Benchmark,
 		Arch:            cfg.Arch.internal(),
 		Node:            node,
 		FEBoostPct:      cfg.FEBoostPct,
 		BEBoostPct:      cfg.BEBoostPct,
 		MaxInstructions: instructions,
-	})
+	}
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	res, err := sim.Run(cfg.job().Config())
 	if err != nil {
 		return Result{}, err
 	}
 	return publicResult(res), nil
+}
+
+// SweepOptions controls the concurrent batch runners RunMany and Sweep.
+type SweepOptions struct {
+	// Workers is the worker-pool size; zero or negative uses GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called after each completed run with the
+	// number finished so far (1..total) and the total. Calls are serialized
+	// but arrive in completion order.
+	Progress func(done, total int)
+}
+
+func (o SweepOptions) labOptions() lab.Options {
+	lo := lab.Options{Workers: o.Workers}
+	if o.Progress != nil {
+		lo.Progress = func(done, total int, _ lab.Job) { o.Progress(done, total) }
+	}
+	return lo
+}
+
+// RunMany executes the given configurations concurrently on a worker pool
+// and returns the results in configuration order, independent of completion
+// order. Configurations that are identical after defaulting simulate
+// exactly once and share one result. If any run fails, the error of the
+// lowest-indexed failing configuration is returned.
+func RunMany(cfgs []Config, opt SweepOptions) ([]Result, error) {
+	jobs := make([]lab.Job, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = c.job()
+	}
+	res, err := lab.Run(jobs, opt.labOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = publicResult(r)
+	}
+	return out, nil
+}
+
+// Sweep runs base once per (benchmark, front-end boost) combination and
+// returns the results indexed [benchmark][boost], aligned with the input
+// slices. A nil benchmarks slice sweeps every workload (Benchmarks()); a
+// nil feBoosts slice runs only base's own FEBoostPct. The cross-product is
+// executed concurrently with duplicate configurations deduplicated — the
+// paper's Figure 12-14 measurement is one Sweep call.
+func Sweep(base Config, benchmarks []string, feBoosts []int, opt SweepOptions) ([][]Result, error) {
+	if benchmarks == nil {
+		benchmarks = Benchmarks()
+	}
+	if feBoosts == nil {
+		feBoosts = []int{base.FEBoostPct}
+	}
+	cfgs := make([]Config, 0, len(benchmarks)*len(feBoosts))
+	for _, b := range benchmarks {
+		for _, fe := range feBoosts {
+			c := base
+			c.Benchmark = b
+			c.FEBoostPct = fe
+			cfgs = append(cfgs, c)
+		}
+	}
+	flat, err := RunMany(cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(benchmarks))
+	for i := range benchmarks {
+		out[i] = flat[i*len(feBoosts) : (i+1)*len(feBoosts)]
+	}
+	return out, nil
 }
 
 func publicResult(res sim.Result) Result {

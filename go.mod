@@ -1,0 +1,3 @@
+module flywheel
+
+go 1.24

@@ -3,6 +3,12 @@
 // stats) so the CLI, the benchmark harness and EXPERIMENTS.md all share one
 // implementation.
 //
+// Every figure builds its complete job list up front and submits it to the
+// lab (package lab), which fans the independent simulations across a worker
+// pool and memoizes results by configuration — the baseline runs shared
+// between Figures 11-14 simulate once per process, and a sweep renders
+// byte-identically at any worker count.
+//
 // Reproduction contract (see DESIGN.md): absolute numbers differ from the
 // paper — the workloads are proxies and the substrate is a from-scratch
 // simulator — but the shapes must hold: who wins, by roughly what factor,
@@ -13,6 +19,7 @@ import (
 	"fmt"
 
 	"flywheel/internal/cacti"
+	"flywheel/internal/lab"
 	"flywheel/internal/sim"
 	"flywheel/internal/stats"
 	"flywheel/internal/workload"
@@ -25,6 +32,14 @@ type Options struct {
 	// Node is the technology point for the timing/power experiments
 	// (Figures 11-14); Figure 15 sweeps its own nodes.
 	Node cacti.Node
+	// Parallel is the simulation worker-pool size; 0 uses GOMAXPROCS.
+	Parallel int
+	// Cache memoizes runs. Nil uses a process-wide cache shared by every
+	// experiment, so e.g. the baseline column common to Figures 11-14
+	// simulates exactly once per process.
+	Cache *lab.Cache
+	// Progress, when non-nil, is called after each completed simulation.
+	Progress func(done, total int, j lab.Job)
 }
 
 // DefaultOptions mirror the evaluation setup at a practical budget.
@@ -40,6 +55,27 @@ func (o Options) normalize() Options {
 		o.Node = cacti.Node130
 	}
 	return o
+}
+
+// sharedCache memoizes runs across every experiment in the process.
+var sharedCache = lab.NewCache()
+
+// runAll submits a figure's job list to the lab.
+func (o Options) runAll(jobs []lab.Job) ([]sim.Result, error) {
+	cache := o.Cache
+	if cache == nil {
+		cache = sharedCache
+	}
+	return lab.Run(jobs, lab.Options{Workers: o.Parallel, Cache: cache, Progress: o.Progress})
+}
+
+// job builds the common job shape of the timing/power figures.
+func (o Options) job(name string, arch sim.Arch, fe, be int) lab.Job {
+	return lab.Job{
+		Workload: name, Arch: arch, Node: o.Node,
+		FEBoostPct: fe, BEBoostPct: be,
+		MaxInstructions: o.Instructions,
+	}
 }
 
 // Figure1 reproduces the latency-scaling curves: access latency of issue
@@ -89,36 +125,35 @@ func nodeNames() []string {
 	return out
 }
 
+// figure2Jobs lists Figure 2's runs: per benchmark, the plain baseline, the
+// extra-front-end-stage variant, and the pipelined wake-up/select variant.
+func figure2Jobs(opt Options) []lab.Job {
+	var jobs []lab.Job
+	for _, name := range workload.Names() {
+		base := opt.job(name, sim.ArchBaseline, 0, 0)
+		fe := base
+		fe.ExtraFrontEndStages = 1
+		ws := base
+		ws.PipelinedWakeupSelect = true
+		jobs = append(jobs, base, fe, ws)
+	}
+	return jobs
+}
+
 // Figure2 reproduces the pipelining-sensitivity study: IPC degradation from
 // one extra front-end stage (Fetch/Mispredict loop) vs from pipelining
 // Wake-Up/Select.
 func Figure2(opt Options) (*stats.Table, error) {
 	opt = opt.normalize()
+	res, err := opt.runAll(figure2Jobs(opt))
+	if err != nil {
+		return nil, err
+	}
 	tbl := stats.NewTable("Figure 2 — IPC degradation [%] from pipelining critical loops",
 		"bench", "fetch/mispredict +1 stage", "wake-up/select pipelined")
 	var feLoss, wsLoss []float64
-	for _, name := range workload.Names() {
-		base, err := sim.Run(sim.RunConfig{
-			Workload: name, Arch: sim.ArchBaseline, Node: opt.Node,
-			MaxInstructions: opt.Instructions,
-		})
-		if err != nil {
-			return nil, err
-		}
-		fe, err := sim.Run(sim.RunConfig{
-			Workload: name, Arch: sim.ArchBaseline, Node: opt.Node,
-			MaxInstructions: opt.Instructions, ExtraFrontEndStages: 1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ws, err := sim.Run(sim.RunConfig{
-			Workload: name, Arch: sim.ArchBaseline, Node: opt.Node,
-			MaxInstructions: opt.Instructions, PipelinedWakeupSelect: true,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range workload.Names() {
+		base, fe, ws := res[3*i], res[3*i+1], res[3*i+2]
 		fePct := (1 - fe.IPC/base.IPC) * 100
 		wsPct := (1 - ws.IPC/base.IPC) * 100
 		feLoss = append(feLoss, fePct)
@@ -129,26 +164,34 @@ func Figure2(opt Options) (*stats.Table, error) {
 	return tbl, nil
 }
 
+// figure11Jobs lists Figure 11's runs: per benchmark, the baseline, the
+// Register-Allocation configuration and the full Flywheel, all at the
+// baseline clock.
+func figure11Jobs(opt Options) []lab.Job {
+	var jobs []lab.Job
+	for _, name := range workload.Names() {
+		jobs = append(jobs,
+			opt.job(name, sim.ArchBaseline, 0, 0),
+			opt.job(name, sim.ArchRegAlloc, 0, 0),
+			opt.job(name, sim.ArchFlywheel, 0, 0),
+		)
+	}
+	return jobs
+}
+
 // Figure11 reproduces the equal-clock comparison: the Register-Allocation
 // configuration and the full Flywheel, normalized to the baseline.
 func Figure11(opt Options) (*stats.Table, error) {
 	opt = opt.normalize()
+	res, err := opt.runAll(figure11Jobs(opt))
+	if err != nil {
+		return nil, err
+	}
 	tbl := stats.NewTable("Figure 11 — normalized performance at the baseline clock",
 		"bench", "register allocation", "flywheel", "EC residency")
 	var ra, fw []float64
-	for _, name := range workload.Names() {
-		base, err := run(name, sim.ArchBaseline, opt, 0, 0)
-		if err != nil {
-			return nil, err
-		}
-		reg, err := run(name, sim.ArchRegAlloc, opt, 0, 0)
-		if err != nil {
-			return nil, err
-		}
-		fly, err := run(name, sim.ArchFlywheel, opt, 0, 0)
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range workload.Names() {
+		base, reg, fly := res[3*i], res[3*i+1], res[3*i+2]
 		raPerf := reg.Speedup(base)
 		fwPerf := fly.Speedup(base)
 		ra = append(ra, raPerf)
@@ -170,38 +213,40 @@ type SweepData struct {
 	Flywheel  map[string]map[int]sim.Result // bench -> FE% -> result
 }
 
+// sweepJobs lists the clock-scaling runs: per benchmark, the baseline and
+// one Flywheel run per front-end boost at back-end +50%.
+func sweepJobs(opt Options) []lab.Job {
+	var jobs []lab.Job
+	for _, name := range workload.Names() {
+		jobs = append(jobs, opt.job(name, sim.ArchBaseline, 0, 0))
+		for _, fe := range FESweep {
+			jobs = append(jobs, opt.job(name, sim.ArchFlywheel, fe, 50))
+		}
+	}
+	return jobs
+}
+
 // Sweep performs the clock-scaling measurement once for all three figures.
 func Sweep(opt Options) (*SweepData, error) {
 	opt = opt.normalize()
+	res, err := opt.runAll(sweepJobs(opt))
+	if err != nil {
+		return nil, err
+	}
 	d := &SweepData{
 		Options:   opt,
 		Baselines: map[string]sim.Result{},
 		Flywheel:  map[string]map[int]sim.Result{},
 	}
-	for _, name := range workload.Names() {
-		base, err := run(name, sim.ArchBaseline, opt, 0, 0)
-		if err != nil {
-			return nil, err
-		}
-		d.Baselines[name] = base
+	stride := 1 + len(FESweep)
+	for i, name := range workload.Names() {
+		d.Baselines[name] = res[stride*i]
 		d.Flywheel[name] = map[int]sim.Result{}
-		for _, fe := range FESweep {
-			r, err := run(name, sim.ArchFlywheel, opt, fe, 50)
-			if err != nil {
-				return nil, err
-			}
-			d.Flywheel[name][fe] = r
+		for k, fe := range FESweep {
+			d.Flywheel[name][fe] = res[stride*i+1+k]
 		}
 	}
 	return d, nil
-}
-
-func run(name string, arch sim.Arch, opt Options, fe, be int) (sim.Result, error) {
-	return sim.Run(sim.RunConfig{
-		Workload: name, Arch: arch, Node: opt.Node,
-		FEBoostPct: fe, BEBoostPct: be,
-		MaxInstructions: opt.Instructions,
-	})
 }
 
 func sweepHeader() []string {
@@ -278,27 +323,40 @@ func (d *SweepData) Residency() *stats.Table {
 // Figure15Nodes are the technology points of the leakage study.
 var Figure15Nodes = []cacti.Node{cacti.Node130, cacti.Node90, cacti.Node60}
 
+// figure15Jobs lists the leakage study's runs: per benchmark and node, the
+// baseline and the Flywheel at (FE+100%, BE+50%).
+func figure15Jobs(opt Options) []lab.Job {
+	var jobs []lab.Job
+	for _, name := range workload.Names() {
+		for _, node := range Figure15Nodes {
+			o := opt
+			o.Node = node
+			jobs = append(jobs,
+				o.job(name, sim.ArchBaseline, 0, 0),
+				o.job(name, sim.ArchFlywheel, 100, 50),
+			)
+		}
+	}
+	return jobs
+}
+
 // Figure15 reproduces the energy-savings-vs-technology study at
 // (FE+100%, BE+50%): each node's Flywheel energy normalized to that node's
 // baseline.
 func Figure15(opt Options) (*stats.Table, error) {
 	opt = opt.normalize()
+	res, err := opt.runAll(figure15Jobs(opt))
+	if err != nil {
+		return nil, err
+	}
 	tbl := stats.NewTable("Figure 15 — normalized energy at (FE+100%, BE+50%) per node",
 		"bench", "130nm", "90nm", "60nm")
 	avg := make([][]float64, len(Figure15Nodes))
-	for _, name := range workload.Names() {
+	stride := 2 * len(Figure15Nodes)
+	for bi, name := range workload.Names() {
 		row := []string{name}
-		for i, node := range Figure15Nodes {
-			o := opt
-			o.Node = node
-			base, err := run(name, sim.ArchBaseline, o, 0, 0)
-			if err != nil {
-				return nil, err
-			}
-			fly, err := run(name, sim.ArchFlywheel, o, 100, 50)
-			if err != nil {
-				return nil, err
-			}
+		for i := range Figure15Nodes {
+			base, fly := res[stride*bi+2*i], res[stride*bi+2*i+1]
 			v := fly.EnergyPJ / base.EnergyPJ
 			avg[i] = append(avg[i], v)
 			row = append(row, stats.F(v, 3))
@@ -311,6 +369,18 @@ func Figure15(opt Options) (*stats.Table, error) {
 	}
 	tbl.Add(avgRow...)
 	return tbl, nil
+}
+
+// SuiteJobs lists every run of the Figure 11-15 suite (with duplicates
+// across figures left in, the way the figures submit them) — the input to
+// the suite-regeneration benchmark.
+func SuiteJobs(opt Options) []lab.Job {
+	opt = opt.normalize()
+	var jobs []lab.Job
+	jobs = append(jobs, figure11Jobs(opt)...)
+	jobs = append(jobs, sweepJobs(opt)...)
+	jobs = append(jobs, figure15Jobs(opt)...)
+	return jobs
 }
 
 // Table2 documents the simulated machine parameters (the paper's Table 2).

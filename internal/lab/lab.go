@@ -1,0 +1,205 @@
+// Package lab orchestrates batches of simulations. The paper's evaluation
+// is a large cross-product — benchmarks × architectures × boost settings ×
+// technology nodes — of mutually independent runs, so the lab fans a job
+// list across a worker pool sized to the machine and memoizes results by a
+// canonical configuration key: the many experiments that share a
+// configuration (e.g. the baseline column repeated across Figures 11-14)
+// simulate exactly once. Results always come back in job order, independent
+// of completion order and worker count, so a sweep renders byte-identically
+// whether it ran on one core or sixty-four.
+package lab
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"flywheel/internal/cacti"
+	"flywheel/internal/sim"
+)
+
+// Job is one simulation in a batch: the full identity of a run. Two jobs
+// with equal fields are the same experiment and share one cached result.
+type Job struct {
+	Workload string
+	Arch     sim.Arch
+	// Node is the technology point; zero means 0.13 µm, like sim.Run.
+	Node cacti.Node
+	// FEBoostPct / BEBoostPct are the Flywheel clock-ratio knobs (§5).
+	FEBoostPct int
+	BEBoostPct int
+	// MaxInstructions bounds the measured dynamic instruction count;
+	// 0 runs to completion.
+	MaxInstructions uint64
+
+	// Figure 2 baseline variants.
+	ExtraFrontEndStages   int
+	PipelinedWakeupSelect bool
+}
+
+func (j Job) normalize() Job {
+	if j.Node == 0 {
+		j.Node = cacti.Node130
+	}
+	return j
+}
+
+// Key is the canonical cache identity of the job. Fields that default are
+// normalized first, so a job written with Node left zero and one written
+// with Node130 memoize to the same entry.
+func (j Job) Key() string {
+	j = j.normalize()
+	return fmt.Sprintf("wl=%s|arch=%d|node=%s|fe=%d|be=%d|n=%d|fes=%d|pws=%t",
+		j.Workload, j.Arch,
+		strconv.FormatFloat(float64(j.Node), 'g', -1, 64),
+		j.FEBoostPct, j.BEBoostPct, j.MaxInstructions,
+		j.ExtraFrontEndStages, j.PipelinedWakeupSelect)
+}
+
+// Config converts the job to the simulator's run configuration.
+func (j Job) Config() sim.RunConfig {
+	j = j.normalize()
+	return sim.RunConfig{
+		Workload:              j.Workload,
+		Arch:                  j.Arch,
+		Node:                  j.Node,
+		FEBoostPct:            j.FEBoostPct,
+		BEBoostPct:            j.BEBoostPct,
+		MaxInstructions:       j.MaxInstructions,
+		ExtraFrontEndStages:   j.ExtraFrontEndStages,
+		PipelinedWakeupSelect: j.PipelinedWakeupSelect,
+	}
+}
+
+// Cache memoizes simulation results by Job.Key. It is safe for concurrent
+// use and deduplicates in-flight work: when two workers ask for the same
+// key at once, one simulates and the other waits for its result.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	hits    uint64
+	misses  uint64
+}
+
+type entry struct {
+	done chan struct{} // closed once res/err are filled
+	res  sim.Result
+	err  error
+}
+
+// NewCache returns an empty run cache.
+func NewCache() *Cache { return &Cache{entries: map[string]*entry{}} }
+
+// do returns the memoized result for j, simulating it on first request.
+func (c *Cache) do(j Job) (sim.Result, error) {
+	key := j.Key()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.res, e.err = sim.Run(j.Config())
+	close(e.done)
+	return e.res, e.err
+}
+
+// Hits counts requests served from the cache (including waits on in-flight
+// runs). For a job list, Hits+Misses == len(jobs) and Misses == the number
+// of distinct keys, regardless of worker count.
+func (c *Cache) Hits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses counts requests that had to simulate.
+func (c *Cache) Misses() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// Len reports the number of cached configurations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Workers sets the worker-pool size; zero or negative uses
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache memoizes runs across calls. Nil uses a fresh private cache, so
+	// duplicates within the job list still simulate once.
+	Cache *Cache
+	// Progress, when non-nil, is called once per completed job with the
+	// number finished so far (1..total) and the job. Calls are serialized
+	// but arrive in completion order, not job order.
+	Progress func(done, total int, j Job)
+}
+
+// Run executes the jobs on a worker pool and returns their results in job
+// order. Identical jobs — within the list or against a shared cache from
+// earlier calls — simulate exactly once. If any job fails, Run finishes the
+// batch and returns the error of the lowest-indexed failing job, so the
+// error too is deterministic under concurrency.
+func Run(jobs []Job, opt Options) ([]sim.Result, error) {
+	results := make([]sim.Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
+
+	errs := make([]error, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = cache.do(jobs[i])
+				if opt.Progress != nil {
+					progressMu.Lock()
+					done++
+					opt.Progress(done, len(jobs), jobs[i])
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
