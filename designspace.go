@@ -1,0 +1,220 @@
+package flywheel
+
+// Synthetic workloads and design-space exploration. The paper's ten proxy
+// benchmarks fix the workload axis; Synthesize opens it — a Profile names
+// workload characteristics directly and generates a deterministic kernel
+// exhibiting them — and Explore sweeps (profile × architecture × clock
+// boosts × technology node) grids to the speedup-vs-energy Pareto
+// frontier, answering "for which programs does a multiple-speed pipeline
+// win?".
+
+import (
+	"fmt"
+
+	"flywheel/internal/cacti"
+	"flywheel/internal/explore"
+	"flywheel/internal/lab"
+	"flywheel/internal/sim"
+	"flywheel/internal/workload"
+	"flywheel/internal/workload/synth"
+)
+
+// Profile parameterizes one synthetic workload. Integer knobs default when
+// zero (ILP 4, 32 KiB data, 4 KiB code, 4 passes); the float knobs are
+// fractions in [0, 1] whose zero value is meaningful. Generation is
+// deterministic: the same profile always produces the same program, and
+// the profile's canonical name doubles as its identity in the run cache.
+type Profile struct {
+	// ILP is the number of independent dependency chains (1..6); the total
+	// arithmetic per block is fixed, so higher ILP means shorter chains.
+	ILP int
+	// BranchEntropy is the fraction of conditional branches whose
+	// direction depends on pseudo-random data.
+	BranchEntropy float64
+	// MemFootprintKB is the data working set in KiB (rounded up to a power
+	// of two, max 1024).
+	MemFootprintKB int
+	// StrideFrac is the fraction of memory accesses that walk the working
+	// set sequentially; the rest address it pseudo-randomly.
+	StrideFrac float64
+	// FPMix is the fraction of chain arithmetic done in floating point.
+	FPMix float64
+	// RegReuse concentrates destination-register writes onto one hot
+	// architected register, stressing its rename pool.
+	RegReuse float64
+	// CodeFootprintKB is the static code footprint in KiB (max 256).
+	CodeFootprintKB int
+	// Seed selects the generated structure and runtime data.
+	Seed uint64
+	// Passes scales the dynamic length of a run to completion (1..64).
+	Passes int
+}
+
+func (p Profile) internal() synth.Profile {
+	return synth.Profile{
+		ILP: p.ILP, BranchEntropy: p.BranchEntropy,
+		MemFootprintKB: p.MemFootprintKB, StrideFrac: p.StrideFrac,
+		FPMix: p.FPMix, RegReuse: p.RegReuse,
+		CodeFootprintKB: p.CodeFootprintKB, Seed: p.Seed, Passes: p.Passes,
+	}
+}
+
+func profileFromInternal(p synth.Profile) Profile {
+	return Profile{
+		ILP: p.ILP, BranchEntropy: p.BranchEntropy,
+		MemFootprintKB: p.MemFootprintKB, StrideFrac: p.StrideFrac,
+		FPMix: p.FPMix, RegReuse: p.RegReuse,
+		CodeFootprintKB: p.CodeFootprintKB, Seed: p.Seed, Passes: p.Passes,
+	}
+}
+
+// Name returns the profile's canonical benchmark name (defaults resolved):
+// the name Synthesize registers it under.
+func (p Profile) Name() string { return p.internal().Name() }
+
+// Synthesize generates the profile's kernel and registers it as a
+// workload, returning the canonical benchmark name to use in Config.
+// Synthesizing the same profile again is a cheap no-op, so callers need no
+// coordination; the generated program is deterministic in the profile.
+func Synthesize(p Profile) (string, error) {
+	w, err := synth.Build(p.internal())
+	if err != nil {
+		return "", err
+	}
+	if err := workload.Register(w); err != nil {
+		return "", err
+	}
+	return w.Name, nil
+}
+
+// SynthesizeSource returns the generated assembly text of the profile's
+// kernel, for inspection or for RunAssembly.
+func SynthesizeSource(p Profile) (string, error) {
+	return synth.Generate(p.internal())
+}
+
+// ExploreSpace is the design-space grid: the cross-product of every
+// non-empty axis. Nil axes default — Archs to {ArchFlywheel}, FEBoosts to
+// {0, 50, 100}, BEBoosts to {50}, Nodes to {Node130} — and a baseline run
+// per (profile, node) is always added for normalization.
+type ExploreSpace struct {
+	Profiles     []Profile
+	Archs        []Arch
+	FEBoosts     []int
+	BEBoosts     []int
+	Nodes        []Node
+	Instructions uint64
+}
+
+// ExplorePoint is one evaluated configuration of the grid.
+type ExplorePoint struct {
+	// Profile has its defaults resolved; Benchmark is its registered name.
+	Profile    Profile
+	Benchmark  string
+	Arch       Arch
+	Node       Node
+	FEBoostPct int
+	BEBoostPct int
+
+	// Result is this configuration's run; Baseline is the same profile's
+	// baseline machine at the same node.
+	Result   Result
+	Baseline Result
+
+	// Speedup is baseline time over this time; EnergyRatio is this energy
+	// over baseline energy. OnFrontier marks Pareto-optimal points.
+	Speedup     float64
+	EnergyRatio float64
+	OnFrontier  bool
+}
+
+// ExploreReport is the outcome of one exploration (produced by Explore),
+// points in grid order.
+type ExploreReport struct {
+	Points []ExplorePoint
+
+	// frontier is precomputed by Explore from the internal report, so the
+	// public ordering contract has a single source of truth.
+	frontier []ExplorePoint
+}
+
+// Frontier returns the Pareto-optimal points, fastest first (descending
+// speedup, ties in grid order).
+func (r *ExploreReport) Frontier() []ExplorePoint {
+	return append([]ExplorePoint(nil), r.frontier...)
+}
+
+// Explore synthesizes every profile, runs the whole grid (plus baselines)
+// as one batched, memoized, worker-pool submission, and reports each
+// point's speedup and energy against its baseline with the Pareto frontier
+// marked. Results are deterministic at any worker count.
+func Explore(space ExploreSpace, opt SweepOptions) (*ExploreReport, error) {
+	isp := explore.Space{
+		FEBoosts:     space.FEBoosts,
+		BEBoosts:     space.BEBoosts,
+		Instructions: space.Instructions,
+	}
+	for _, p := range space.Profiles {
+		isp.Profiles = append(isp.Profiles, p.internal())
+	}
+	if space.Archs != nil {
+		isp.Archs = make([]sim.Arch, len(space.Archs))
+		for i, a := range space.Archs {
+			isp.Archs[i] = a.internal()
+		}
+	}
+	if space.Nodes != nil {
+		isp.Nodes = make([]cacti.Node, len(space.Nodes))
+		for i, n := range space.Nodes {
+			switch n {
+			case Node180, Node130, Node90, Node60:
+				isp.Nodes[i] = cacti.Node(n)
+			default:
+				return nil, fmt.Errorf("flywheel: unsupported node %v", float64(n))
+			}
+		}
+	}
+	iopt := explore.Options{Workers: opt.Workers}
+	if opt.Progress != nil {
+		iopt.Progress = func(done, total int, _ lab.Job) { opt.Progress(done, total) }
+	}
+	rep, err := explore.Explore(isp, iopt)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExploreReport{Points: make([]ExplorePoint, len(rep.Points))}
+	for i, p := range rep.Points {
+		out.Points[i] = pointFromInternal(p)
+	}
+	for _, p := range rep.Frontier() {
+		out.frontier = append(out.frontier, pointFromInternal(p))
+	}
+	return out, nil
+}
+
+func pointFromInternal(p explore.Point) ExplorePoint {
+	return ExplorePoint{
+		Profile:     profileFromInternal(p.Profile.Defaulted()),
+		Benchmark:   p.Profile.Name(),
+		Arch:        archFromInternal(p.Arch),
+		Node:        Node(p.Node),
+		FEBoostPct:  p.FEBoost,
+		BEBoostPct:  p.BEBoost,
+		Result:      publicResult(p.Result),
+		Baseline:    publicResult(p.Baseline),
+		Speedup:     p.Speedup,
+		EnergyRatio: p.EnergyRatio,
+		OnFrontier:  p.OnFrontier,
+	}
+}
+
+func archFromInternal(a sim.Arch) Arch {
+	switch a {
+	case sim.ArchFlywheel:
+		return ArchFlywheel
+	case sim.ArchRegAlloc:
+		return ArchRegAlloc
+	default:
+		return ArchBaseline
+	}
+}

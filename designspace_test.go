@@ -1,0 +1,87 @@
+package flywheel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSynthesizeAndRun(t *testing.T) {
+	p := Profile{MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1, Seed: 21}
+	name, err := Synthesize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != p.Name() || !strings.HasPrefix(name, "synth/") {
+		t.Fatalf("Synthesize returned %q, want %q", name, p.Name())
+	}
+	// Idempotent: same profile registers again without error.
+	if _, err := Synthesize(p); err != nil {
+		t.Fatalf("re-synthesize: %v", err)
+	}
+	res, err := Run(Config{Benchmark: name, Arch: ArchFlywheel, FEBoostPct: 50, BEBoostPct: 50, Instructions: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired < 5_000 {
+		t.Errorf("retired %d, want >= 5000", res.Retired)
+	}
+	src, err := SynthesizeSource(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "measure:") {
+		t.Error("generated source has no measure label")
+	}
+}
+
+func TestSynthesizeRejectsInvalidProfile(t *testing.T) {
+	if _, err := Synthesize(Profile{ILP: 99}); err == nil {
+		t.Error("no error for out-of-range ILP")
+	}
+	if _, err := Explore(ExploreSpace{
+		Profiles: []Profile{{MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1}},
+		Nodes:    []Node{0.42},
+	}, SweepOptions{}); err == nil {
+		t.Error("no error for unsupported node")
+	}
+}
+
+func TestExplorePublicAPI(t *testing.T) {
+	space := ExploreSpace{
+		Profiles: []Profile{
+			{MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1, Seed: 31},
+			{ILP: 1, BranchEntropy: 1, MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1, Seed: 32},
+		},
+		FEBoosts:     []int{0, 100},
+		Instructions: 4_000,
+	}
+	var calls int
+	rep, err := Explore(space, SweepOptions{Progress: func(done, total int) { calls++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 profiles × 2 FE boosts × default {BE 50} × default flywheel arch.
+	if got, want := len(rep.Points), 4; got != want {
+		t.Fatalf("points = %d, want %d", got, want)
+	}
+	if calls == 0 {
+		t.Error("progress callback never invoked")
+	}
+	frontier := rep.Frontier()
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].Speedup > frontier[i-1].Speedup {
+			t.Error("frontier not sorted by descending speedup")
+		}
+	}
+	for _, p := range rep.Points {
+		if p.Profile.ILP == 0 || p.Profile.Passes == 0 {
+			t.Errorf("point profile not defaulted: %+v", p.Profile)
+		}
+		if p.Benchmark == "" || p.Result.TimePS == 0 || p.Baseline.TimePS == 0 {
+			t.Errorf("incomplete point: %+v", p)
+		}
+	}
+}

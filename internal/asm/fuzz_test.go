@@ -1,0 +1,71 @@
+package asm_test
+
+// Native fuzz target for the assembler and the instruction codec. The
+// invariants: Assemble never panics on any input, and every instruction of
+// a successfully assembled program survives the encode → decode round trip
+// with its identity intact (the emulator re-encodes programs into memory
+// and the timing cores re-decode them, so a lossy codec would silently
+// corrupt workloads). The seed corpus is the real workload kernels — the
+// ten proxies plus synthetic programs — so the fuzzer mutates from deep
+// inside the accepted grammar. CI runs a short -fuzztime smoke; run longer
+// hunts with:
+//
+//	go test ./internal/asm -run=^$ -fuzz=FuzzAssemble -fuzztime=5m
+
+import (
+	"testing"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/isa"
+	"flywheel/internal/workload"
+	"flywheel/internal/workload/synth"
+)
+
+func FuzzAssemble(f *testing.F) {
+	for _, w := range workload.Sorted() {
+		f.Add(w.Source)
+	}
+	f.Add(synth.MustGenerate(synth.Profile{MemFootprintKB: 1, CodeFootprintKB: 1, Passes: 1}))
+	f.Add(synth.MustGenerate(synth.Profile{ILP: 1, BranchEntropy: 1, FPMix: 1, MemFootprintKB: 1, CodeFootprintKB: 1, Passes: 1, Seed: 9}))
+	// Grammar corners: every directive and pseudo-instruction, odd
+	// spacing, labels on their own lines, both comment styles.
+	f.Add("start:\n\tli r1, 42\n\thalt\n")
+	f.Add(".global main\nmain: addi r1, r0, 1 ; c\n\tb main\n.data\nx: .word 1, 2\n")
+	f.Add("\t.data\nv:\t.double 1.5, -2e3\nbuf: .space 16\n.align 8\nw: .byte 1\n")
+	f.Add("a: b: c: ld f1, -8(sp)\n\tfsd f1, 0(r29)\n\tcall a // x\n\tret\n")
+	f.Add("\tlui r5, 131071\n\tjalr r0, r5\n\tbgt r1, r2, 4\n\tble r1, r2, -4\n")
+	f.Add("\tmv f1, f2\n\tnot r3, r4\n\tneg r5, r6\n\tjr ra\n\tbeqz zero, 0\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := asm.Assemble("fuzz.s", src)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		for i, in := range prog.Code {
+			word, err := isa.Encode(in)
+			if err != nil {
+				t.Fatalf("instruction %d %q assembled but does not encode: %v", i, in, err)
+			}
+			back, err := isa.Decode(word)
+			if err != nil {
+				t.Fatalf("instruction %d %q encoded to %#x but does not decode: %v", i, in, word, err)
+			}
+			if back != in {
+				t.Errorf("instruction %d round trip: %q -> %#x -> %q", i, in, word, back)
+			}
+		}
+		// The rest of the stack trusts these invariants of a successful
+		// assembly; hold them under fuzzing too.
+		if len(prog.Code) == 0 {
+			t.Error("assembled program has no code")
+		}
+		if prog.Entry < asm.CodeBase || prog.Entry >= prog.CodeEnd() {
+			t.Errorf("entry %#x outside code [%#x, %#x)", prog.Entry, asm.CodeBase, prog.CodeEnd())
+		}
+		for name, addr := range prog.Symbols {
+			if addr >= asm.CodeBase && addr < prog.CodeEnd() && addr%isa.InstBytes != 0 {
+				t.Errorf("code symbol %q at misaligned address %#x", name, addr)
+			}
+		}
+	})
+}

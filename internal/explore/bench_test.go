@@ -1,0 +1,62 @@
+package explore
+
+// Frontier-sweep benchmarks in the style of the experiment suite's
+// (internal/experiments/suite_bench_test.go): the wall-clock of one
+// design-space exploration at Workers:1 vs a full worker pool, plus the
+// memoized floor with every configuration already cached. Run with:
+//
+//	go test ./internal/explore -bench Explore -benchtime 2x
+
+import (
+	"runtime"
+	"testing"
+
+	"flywheel/internal/lab"
+	"flywheel/internal/sim"
+	"flywheel/internal/workload/synth"
+)
+
+// benchSpace is a moderate grid: 3 profiles × (2 boosts + baseline) at a
+// small per-run budget, so the benchmark exercises scheduling rather than
+// one giant simulation.
+func benchSpace() Space {
+	return Space{
+		Profiles: []synth.Profile{
+			{MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1, Seed: 1},
+			{ILP: 1, BranchEntropy: 1, MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1, Seed: 2},
+			{ILP: 6, FPMix: 0.5, MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1, Seed: 3},
+		},
+		Archs:        []sim.Arch{sim.ArchFlywheel},
+		FEBoosts:     []int{0, 100},
+		BEBoosts:     []int{50},
+		Instructions: 20_000,
+	}
+}
+
+func benchExplore(b *testing.B, workers int, cache *lab.Cache) {
+	sp := benchSpace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cache
+		if c == nil {
+			c = lab.NewCache()
+		}
+		if _, err := Explore(sp, Options{Workers: workers, Cache: c}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExploreWorkers1(b *testing.B) { benchExplore(b, 1, nil) }
+
+func BenchmarkExploreWorkersMax(b *testing.B) { benchExplore(b, runtime.GOMAXPROCS(0), nil) }
+
+// BenchmarkExploreWarmCache measures the memoized path: the whole frontier
+// sweep served from cache.
+func BenchmarkExploreWarmCache(b *testing.B) {
+	cache := lab.NewCache()
+	if _, err := Explore(benchSpace(), Options{Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	benchExplore(b, runtime.GOMAXPROCS(0), cache)
+}

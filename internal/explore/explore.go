@@ -1,0 +1,281 @@
+// Package explore sweeps the multiple-speed-pipeline design space. The
+// paper evaluates fixed benchmarks at a handful of clock ratios; the
+// explorer generalizes that into a grid enumeration — synthetic workload
+// profiles × architectures × front-end/back-end boosts × technology nodes
+// — submitted to the lab as one batched job list, then reduced to the
+// speedup-vs-energy Pareto frontier: the configurations for which no other
+// configuration is both faster and more energy-efficient.
+//
+// Everything is deterministic: the grid enumerates in a fixed nested
+// order, the lab returns results in job order at any worker count, and the
+// frontier is a pure function of the results — so a report renders
+// byte-identically whether it ran on one worker or sixty-four, a property
+// pinned by tests.
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"flywheel/internal/cacti"
+	"flywheel/internal/lab"
+	"flywheel/internal/sim"
+	"flywheel/internal/stats"
+	"flywheel/internal/workload"
+	"flywheel/internal/workload/synth"
+)
+
+// Space is the design-space grid to enumerate: the cross-product of every
+// non-empty axis. Nil axes default to a single point (see normalize).
+type Space struct {
+	// Profiles are the synthetic workloads to evaluate. At least one is
+	// required.
+	Profiles []synth.Profile
+	// Archs lists the machines; nil means the full Flywheel only. The
+	// baseline is always simulated per (profile, node) for normalization,
+	// whether or not it is listed.
+	Archs []sim.Arch
+	// FEBoosts / BEBoosts are the clock-ratio axes in percent; nil means
+	// {0, 50, 100} and {50} respectively. The baseline architecture
+	// ignores boosts, so it contributes one point per (profile, node).
+	FEBoosts []int
+	BEBoosts []int
+	// Nodes lists the technology points; nil means 0.13 µm.
+	Nodes []cacti.Node
+	// Instructions bounds the measured dynamic instructions per run; zero
+	// means 300k.
+	Instructions uint64
+}
+
+func (s Space) normalize() Space {
+	if s.Archs == nil {
+		s.Archs = []sim.Arch{sim.ArchFlywheel}
+	}
+	if s.FEBoosts == nil {
+		s.FEBoosts = []int{0, 50, 100}
+	}
+	if s.BEBoosts == nil {
+		s.BEBoosts = []int{50}
+	}
+	if s.Nodes == nil {
+		s.Nodes = []cacti.Node{cacti.Node130}
+	}
+	if s.Instructions == 0 {
+		s.Instructions = 300_000
+	}
+	return s
+}
+
+// Point is one evaluated grid configuration with its paper metrics:
+// speedup and energy relative to the same profile's baseline machine at
+// the same node.
+type Point struct {
+	Profile synth.Profile
+	Arch    sim.Arch
+	Node    cacti.Node
+	FEBoost int
+	BEBoost int
+
+	Result   sim.Result
+	Baseline sim.Result
+
+	// Speedup is baseline time / this time; EnergyRatio is this energy /
+	// baseline energy. The ideal corner is high speedup at low ratio.
+	Speedup     float64
+	EnergyRatio float64
+	// OnFrontier marks Pareto-optimal points: no other point has both
+	// higher-or-equal speedup and lower-or-equal energy with at least one
+	// strict.
+	OnFrontier bool
+}
+
+// Report is the outcome of one exploration.
+type Report struct {
+	Space  Space   // normalized
+	Points []Point // in grid-enumeration order
+}
+
+// Options configures the batch execution.
+type Options struct {
+	// Workers is the worker-pool size; zero or negative uses GOMAXPROCS.
+	Workers int
+	// Cache memoizes runs across calls. Nil uses a process-wide cache
+	// shared by every exploration (the experiment harness keeps its own).
+	Cache *lab.Cache
+	// Progress, when non-nil, is called after each completed simulation.
+	Progress func(done, total int, j lab.Job)
+}
+
+// sharedCache memoizes runs across every exploration in the process.
+var sharedCache = lab.NewCache()
+
+// gridJobs enumerates the grid in deterministic nested order — profile,
+// node, arch, FE boost, BE boost — preceded by one baseline job per
+// (profile, node). The baseline arch collapses its boost axes.
+func gridJobs(s Space) (baselines, grid []lab.Job, points []Point) {
+	for _, p := range s.Profiles {
+		name := p.Name()
+		for _, node := range s.Nodes {
+			baselines = append(baselines, lab.Job{
+				Workload: name, Arch: sim.ArchBaseline, Node: node,
+				MaxInstructions: s.Instructions,
+			})
+			for _, arch := range s.Archs {
+				fes, bes := s.FEBoosts, s.BEBoosts
+				if arch == sim.ArchBaseline {
+					fes, bes = []int{0}, []int{0}
+				}
+				for _, fe := range fes {
+					for _, be := range bes {
+						grid = append(grid, lab.Job{
+							Workload: name, Arch: arch, Node: node,
+							FEBoostPct: fe, BEBoostPct: be,
+							MaxInstructions: s.Instructions,
+						})
+						points = append(points, Point{
+							Profile: p, Arch: arch, Node: node,
+							FEBoost: fe, BEBoost: be,
+						})
+					}
+				}
+			}
+		}
+	}
+	return baselines, grid, points
+}
+
+// Explore generates and registers every profile's workload, runs the whole
+// grid (plus per-profile baselines) as one batched lab submission, and
+// reduces the results to a Pareto report.
+func Explore(s Space, opt Options) (*Report, error) {
+	s = s.normalize()
+	if len(s.Profiles) == 0 {
+		return nil, fmt.Errorf("explore: no profiles in the space")
+	}
+	for _, p := range s.Profiles {
+		w, err := synth.Build(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := workload.Register(w); err != nil {
+			return nil, err
+		}
+	}
+
+	baselines, grid, points := gridJobs(s)
+	jobs := append(append([]lab.Job{}, baselines...), grid...)
+	cache := opt.Cache
+	if cache == nil {
+		cache = sharedCache
+	}
+	res, err := lab.Run(jobs, lab.Options{Workers: opt.Workers, Cache: cache, Progress: opt.Progress})
+	if err != nil {
+		return nil, err
+	}
+
+	// Index the baseline results by (profile, node) in enumeration order.
+	base := map[string]sim.Result{}
+	for i, j := range baselines {
+		base[baseKey(j.Workload, j.Node)] = res[i]
+	}
+	for i := range points {
+		r := res[len(baselines)+i]
+		b := base[baseKey(points[i].Profile.Name(), points[i].Node)]
+		points[i].Result = r
+		points[i].Baseline = b
+		points[i].Speedup = r.Speedup(b)
+		points[i].EnergyRatio = stats.Ratio(r.EnergyPJ, b.EnergyPJ)
+	}
+	markFrontier(points)
+	return &Report{Space: s, Points: points}, nil
+}
+
+func baseKey(name string, node cacti.Node) string {
+	return fmt.Sprintf("%s@%g", name, float64(node))
+}
+
+// markFrontier flags the Pareto-optimal points: maximize speedup, minimize
+// energy ratio. Duplicate metric pairs are all kept — neither dominates.
+func markFrontier(points []Point) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			betterEq := points[j].Speedup >= points[i].Speedup && points[j].EnergyRatio <= points[i].EnergyRatio
+			strict := points[j].Speedup > points[i].Speedup || points[j].EnergyRatio < points[i].EnergyRatio
+			if betterEq && strict {
+				dominated = true
+				break
+			}
+		}
+		points[i].OnFrontier = !dominated
+	}
+}
+
+// Frontier returns the Pareto-optimal points ordered by descending
+// speedup, ties broken by grid order.
+func (r *Report) Frontier() []Point {
+	var out []Point
+	for _, p := range r.Points {
+		if p.OnFrontier {
+			out = append(out, p)
+		}
+	}
+	// Insertion sort keeps the tie-break stable on grid order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Speedup > out[j-1].Speedup; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func pointRow(p Point) []string {
+	mark := ""
+	if p.OnFrontier {
+		mark = "*"
+	}
+	return []string{
+		p.Profile.String(), p.Arch.String(), p.Node.String(),
+		fmt.Sprintf("%d", p.FEBoost), fmt.Sprintf("%d", p.BEBoost),
+		stats.F(p.Speedup, 3), stats.F(p.EnergyRatio, 3),
+		stats.Pct(p.Result.ECResidency), stats.F(p.Result.IPC, 2), mark,
+	}
+}
+
+var pointHeader = []string{"profile", "arch", "node", "FE%", "BE%", "speedup", "energy", "EC res", "IPC", "frontier"}
+
+// Table renders every grid point, frontier members starred.
+func (r *Report) Table() *stats.Table {
+	tbl := stats.NewTable("Design space — speedup and energy vs per-profile baseline", pointHeader...)
+	for _, p := range r.Points {
+		tbl.Add(pointRow(p)...)
+	}
+	return tbl
+}
+
+// FrontierTable renders only the Pareto frontier, fastest first.
+func (r *Report) FrontierTable() *stats.Table {
+	tbl := stats.NewTable("Pareto frontier — speedup vs energy", pointHeader...)
+	for _, p := range r.Frontier() {
+		tbl.Add(pointRow(p)...)
+	}
+	return tbl
+}
+
+// CSV renders every grid point as comma-separated records with a header,
+// byte-identical at any worker count.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString("profile,arch,node,fe_pct,be_pct,time_ps,ipc,speedup,energy_ratio,ec_residency,frontier\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%t\n",
+			p.Profile.String(), p.Arch, p.Node, p.FEBoost, p.BEBoost,
+			p.Result.TimePS, stats.F(p.Result.IPC, 4),
+			stats.F(p.Speedup, 4), stats.F(p.EnergyRatio, 4),
+			stats.F(p.Result.ECResidency, 4), p.OnFrontier)
+	}
+	return b.String()
+}

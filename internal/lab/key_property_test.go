@@ -1,0 +1,105 @@
+package lab
+
+// Property test for the cache-key contract: Key() must be injective on
+// normalized jobs — jobs that differ only in defaulted fields collide to
+// one cache entry, and jobs that differ in any meaningful field never
+// collide. A violation in either direction is a correctness bug: spurious
+// collisions serve the wrong simulation result from cache; missed
+// collisions silently duplicate work.
+
+import (
+	"math/rand"
+	"testing"
+
+	"flywheel/internal/cacti"
+	"flywheel/internal/sim"
+)
+
+// randomJob draws every field from a small pool so that collisions between
+// independently drawn jobs are common enough to exercise both directions
+// of the property.
+func randomJob(rng *rand.Rand) Job {
+	workloads := []string{"gzip", "vpr", "synth/i4-e0.5-m32-s0-f0-r0-c4-p4-x1"}
+	nodes := []cacti.Node{0, cacti.Node130, cacti.Node90, cacti.Node60}
+	boosts := []int{0, 50, 100}
+	instrs := []uint64{0, 300_000}
+	return Job{
+		Workload:              workloads[rng.Intn(len(workloads))],
+		Arch:                  sim.Arch(rng.Intn(3)),
+		Node:                  nodes[rng.Intn(len(nodes))],
+		FEBoostPct:            boosts[rng.Intn(len(boosts))],
+		BEBoostPct:            boosts[rng.Intn(len(boosts))],
+		MaxInstructions:       instrs[rng.Intn(len(instrs))],
+		ExtraFrontEndStages:   rng.Intn(2),
+		PipelinedWakeupSelect: rng.Intn(2) == 1,
+	}
+}
+
+func TestKeyEqualsNormalizedIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var collisions, distincts int
+	for i := 0; i < 5000; i++ {
+		a, b := randomJob(rng), randomJob(rng)
+		sameJob := a.normalize() == b.normalize()
+		sameKey := a.Key() == b.Key()
+		if sameJob != sameKey {
+			t.Fatalf("jobs %+v and %+v: normalized-equal=%t but key-equal=%t (keys %q, %q)",
+				a, b, sameJob, sameKey, a.Key(), b.Key())
+		}
+		if sameKey {
+			collisions++
+		} else {
+			distincts++
+		}
+	}
+	if collisions == 0 || distincts == 0 {
+		t.Fatalf("degenerate sample: %d collisions, %d distincts — property not exercised", collisions, distincts)
+	}
+}
+
+// TestKeyDefaultedNodeCollides pins the defaulting direction explicitly: a
+// job written with Node left zero and one written with Node130 are the
+// same experiment.
+func TestKeyDefaultedNodeCollides(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		j := randomJob(rng)
+		j.Node = 0
+		explicit := j
+		explicit.Node = cacti.Node130
+		if j.Key() != explicit.Key() {
+			t.Fatalf("Node 0 and Node130 differ: %q vs %q", j.Key(), explicit.Key())
+		}
+		other := j
+		other.Node = cacti.Node90
+		if j.Key() == other.Key() {
+			t.Fatalf("Node 0 and Node90 collide: %q", j.Key())
+		}
+	}
+}
+
+// TestKeySingleFieldPerturbation: flipping any one meaningful field of a
+// job must change its key.
+func TestKeySingleFieldPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	perturb := []func(*Job){
+		func(j *Job) { j.Workload += "x" },
+		func(j *Job) { j.Arch = (j.Arch + 1) % 3 },
+		func(j *Job) { j.FEBoostPct += 5 },
+		func(j *Job) { j.BEBoostPct += 5 },
+		func(j *Job) { j.MaxInstructions += 1 },
+		func(j *Job) { j.ExtraFrontEndStages++ },
+		func(j *Job) { j.PipelinedWakeupSelect = !j.PipelinedWakeupSelect },
+	}
+	for i := 0; i < 500; i++ {
+		j := randomJob(rng)
+		base := j.Key()
+		for k, f := range perturb {
+			mod := j
+			f(&mod)
+			if mod.Key() == base {
+				t.Fatalf("perturbation %d left key unchanged: %+v -> %q", k, mod, base)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package synth
+
+import (
+	"fmt"
+
+	"flywheel/internal/isa"
+)
+
+// Characteristics reports what a generated kernel actually does on the
+// functional emulator, measured from the warm label. The package tests
+// hold Generate's output to the targets the Profile asked for; callers can
+// use it to audit a profile before spending timing-simulation budget on it.
+type Characteristics struct {
+	// Retired is the number of measured instructions.
+	Retired uint64
+
+	// Instruction mix, as fractions of Retired.
+	FPFrac     float64 // floating-point classes (add/mul/div)
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64 // conditional branches
+
+	// Branch behaviour.
+	TakenRate    float64 // taken fraction of conditional branches
+	CondFlipRate float64 // per-PC direction-change rate: ~0 when every
+	// branch repeats its last direction, ~0.5 for 50/50 random directions
+
+	// Footprints.
+	DataFootprintBytes uint64 // span of data addresses touched
+	CodeFootprintBytes uint64 // distinct instruction words executed × 4
+
+	// TopDestShare is the hottest destination register's share of all
+	// register writes — the register-reuse concentration.
+	TopDestShare float64
+}
+
+// Measure generates the profile's kernel, fast-forwards the emulator past
+// initialization and executes up to limit measured instructions (0 uses a
+// default budget), reporting the observed characteristics.
+func Measure(p Profile, limit uint64) (Characteristics, error) {
+	w, err := Build(p)
+	if err != nil {
+		return Characteristics{}, err
+	}
+	if limit == 0 {
+		limit = 200_000
+	}
+	m, err := w.NewMachine()
+	if err != nil {
+		return Characteristics{}, err
+	}
+
+	var c Characteristics
+	var conds, taken, flips uint64
+	lastDir := map[uint64]bool{}
+	dests := map[isa.Reg]uint64{}
+	var writes uint64
+	var minAddr, maxAddr uint64
+	pcs := map[uint64]struct{}{}
+
+	for !m.Halted && c.Retired < limit {
+		tr, err := m.Step()
+		if err != nil {
+			return Characteristics{}, fmt.Errorf("synth: measure %s: %w", p.Name(), err)
+		}
+		c.Retired++
+		pcs[tr.PC] = struct{}{}
+		in := tr.Inst
+		switch in.Class() {
+		case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+			c.FPFrac++
+		case isa.ClassLoad:
+			c.LoadFrac++
+		case isa.ClassStore:
+			c.StoreFrac++
+		case isa.ClassBranch:
+			c.BranchFrac++
+			conds++
+			if tr.Taken {
+				taken++
+			}
+			if last, seen := lastDir[tr.PC]; seen && last != tr.Taken {
+				flips++
+			}
+			lastDir[tr.PC] = tr.Taken
+		}
+		if in.IsMem() {
+			if minAddr == 0 || tr.Addr < minAddr {
+				minAddr = tr.Addr
+			}
+			if tr.Addr > maxAddr {
+				maxAddr = tr.Addr
+			}
+		}
+		if in.HasDest() {
+			dests[in.Rd]++
+			writes++
+		}
+	}
+
+	if c.Retired > 0 {
+		n := float64(c.Retired)
+		c.FPFrac /= n
+		c.LoadFrac /= n
+		c.StoreFrac /= n
+		c.BranchFrac /= n
+	}
+	if conds > 0 {
+		c.TakenRate = float64(taken) / float64(conds)
+		c.CondFlipRate = float64(flips) / float64(conds)
+	}
+	if maxAddr >= minAddr && minAddr != 0 {
+		c.DataFootprintBytes = maxAddr - minAddr + 8
+	}
+	c.CodeFootprintBytes = uint64(len(pcs)) * isa.InstBytes
+	if writes > 0 {
+		var top uint64
+		for _, n := range dests {
+			if n > top {
+				top = n
+			}
+		}
+		c.TopDestShare = float64(top) / float64(writes)
+	}
+	return c, nil
+}

@@ -1,0 +1,291 @@
+package synth_test
+
+import (
+	"strings"
+	"testing"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/emu"
+	"flywheel/internal/sim"
+	"flywheel/internal/workload"
+	"flywheel/internal/workload/synth"
+)
+
+// measure is the shared measurement helper at the test budget.
+func measure(t *testing.T, p synth.Profile) synth.Characteristics {
+	t.Helper()
+	c, err := synth.Measure(p, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Retired == 0 {
+		t.Fatalf("%s: no measured instructions", p.Name())
+	}
+	return c
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	p := synth.Profile{ILP: 3, BranchEntropy: 0.5, FPMix: 0.25, Seed: 42}
+	a := synth.MustGenerate(p)
+	b := synth.MustGenerate(p)
+	if a != b {
+		t.Error("same profile generated different programs")
+	}
+	c := synth.MustGenerate(synth.Profile{ILP: 3, BranchEntropy: 0.5, FPMix: 0.25, Seed: 43})
+	if a == c {
+		t.Error("different seeds generated identical programs")
+	}
+}
+
+func TestNameCanonicalizesDefaults(t *testing.T) {
+	zero := synth.Profile{}
+	explicit := synth.Profile{
+		ILP: synth.DefaultILP, MemFootprintKB: synth.DefaultMemKB,
+		CodeFootprintKB: synth.DefaultCodeKB, Passes: synth.DefaultPasses,
+	}
+	if zero.Name() != explicit.Name() {
+		t.Errorf("zero profile name %q != explicit defaults %q", zero.Name(), explicit.Name())
+	}
+	rounded := synth.Profile{MemFootprintKB: 33}
+	if rounded.Name() != (synth.Profile{MemFootprintKB: 64}).Name() {
+		t.Errorf("footprint not rounded to power of two: %q", rounded.Name())
+	}
+}
+
+func TestNamesNeverCollide(t *testing.T) {
+	var profiles []synth.Profile
+	for _, ilp := range []int{1, 2, 4, 6} {
+		for _, e := range []float64{0, 0.3, 1} {
+			for _, fp := range []float64{0, 0.5} {
+				for _, seed := range []uint64{0, 1, 99} {
+					profiles = append(profiles, synth.Profile{
+						ILP: ilp, BranchEntropy: e, FPMix: fp, Seed: seed,
+					})
+				}
+			}
+		}
+	}
+	seen := map[string]synth.Profile{}
+	for _, p := range profiles {
+		name := p.Name()
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("profiles %+v and %+v share name %q", prev, p, name)
+		}
+		seen[name] = p
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	bad := []synth.Profile{
+		{ILP: synth.MaxILP + 1},
+		{ILP: -1},
+		{BranchEntropy: 1.5},
+		{StrideFrac: -0.1},
+		{FPMix: 2},
+		{RegReuse: -1},
+		{MemFootprintKB: synth.MaxMemKB + 1},
+		{MemFootprintKB: -64},
+		{CodeFootprintKB: -3},
+		{Passes: -1},
+		{CodeFootprintKB: synth.MaxCodeKB + 1},
+		{Passes: synth.MaxPasses + 1},
+	}
+	for _, p := range bad {
+		if _, err := synth.Generate(p); err == nil {
+			t.Errorf("profile %+v: expected validation error", p)
+		}
+	}
+}
+
+// TestFPMixTarget: the floating-point fraction of the dynamic mix tracks
+// the FPMix knob — zero at 0 and monotonically increasing.
+func TestFPMixTarget(t *testing.T) {
+	small := synth.Profile{MemFootprintKB: 4, CodeFootprintKB: 2, Passes: 1}
+	none, low, high := small, small, small
+	low.FPMix, high.FPMix = 0.25, 0.9
+	cNone, cLow, cHigh := measure(t, none), measure(t, low), measure(t, high)
+	if cNone.FPFrac != 0 {
+		t.Errorf("FPMix 0: measured FP fraction %.3f, want 0", cNone.FPFrac)
+	}
+	if cLow.FPFrac <= 0 {
+		t.Errorf("FPMix 0.25: measured FP fraction %.3f, want > 0", cLow.FPFrac)
+	}
+	if cHigh.FPFrac <= cLow.FPFrac {
+		t.Errorf("FP fraction not monotonic: FPMix 0.9 -> %.3f <= FPMix 0.25 -> %.3f",
+			cHigh.FPFrac, cLow.FPFrac)
+	}
+}
+
+// TestBranchEntropyTarget: predictable profiles repeat per-PC branch
+// directions (low flip rate); full-entropy profiles flip like coin tosses.
+func TestBranchEntropyTarget(t *testing.T) {
+	small := synth.Profile{MemFootprintKB: 4, CodeFootprintKB: 2, Passes: 1}
+	pred, rnd := small, small
+	rnd.BranchEntropy = 1
+	cPred, cRnd := measure(t, pred), measure(t, rnd)
+	if cPred.CondFlipRate > 0.05 {
+		t.Errorf("entropy 0: flip rate %.3f, want <= 0.05", cPred.CondFlipRate)
+	}
+	// Each body executes one data-dependent branch (flip rate ~0.5) and one
+	// predictable ring-control branch, so the aggregate sits near 0.25.
+	if cRnd.CondFlipRate < 0.2 {
+		t.Errorf("entropy 1: flip rate %.3f, want >= 0.2", cRnd.CondFlipRate)
+	}
+	if cPred.BranchFrac == 0 || cRnd.BranchFrac == 0 {
+		t.Error("kernels lost their conditional branches")
+	}
+}
+
+// TestMemFootprintTarget: the span of touched data addresses tracks the
+// footprint knob (random addressing covers the arena quickly).
+func TestMemFootprintTarget(t *testing.T) {
+	for _, kb := range []int{4, 16} {
+		p := synth.Profile{MemFootprintKB: kb, CodeFootprintKB: 2, Passes: 1}
+		c := measure(t, p)
+		want := uint64(kb * 1024)
+		if c.DataFootprintBytes < want/2 || c.DataFootprintBytes > want {
+			t.Errorf("footprint %dKB: touched span %d bytes, want in [%d, %d]",
+				kb, c.DataFootprintBytes, want/2, want)
+		}
+	}
+}
+
+// TestCodeFootprintTarget: the static code size tracks the knob within the
+// generator's body-granularity tolerance, and the measured loop actually
+// executes it all.
+func TestCodeFootprintTarget(t *testing.T) {
+	for _, kb := range []int{2, 8} {
+		p := synth.Profile{MemFootprintKB: 4, CodeFootprintKB: kb, Passes: 1}
+		src := synth.MustGenerate(p)
+		prog, err := asm.Assemble(p.Name()+".s", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := kb * 256 // instructions
+		if got := len(prog.Code); got < target || got > target+target/2 {
+			t.Errorf("code %dKB: %d instructions, want in [%d, %d]", kb, got, target, target+target/2)
+		}
+		c := measure(t, p)
+		if c.CodeFootprintBytes < uint64(target*4)/2 {
+			t.Errorf("code %dKB: only %d bytes executed of %d generated",
+				kb, c.CodeFootprintBytes, target*4)
+		}
+	}
+}
+
+// TestRegReuseTarget: concentrating destination writes raises the hottest
+// register's share of all writes.
+func TestRegReuseTarget(t *testing.T) {
+	small := synth.Profile{MemFootprintKB: 4, CodeFootprintKB: 2, Passes: 1}
+	spread, hot := small, small
+	hot.RegReuse = 0.9
+	cSpread, cHot := measure(t, spread), measure(t, hot)
+	if cHot.TopDestShare <= cSpread.TopDestShare {
+		t.Errorf("reuse 0.9 top-dest share %.3f <= reuse 0 share %.3f",
+			cHot.TopDestShare, cSpread.TopDestShare)
+	}
+	if cHot.TopDestShare < 0.25 {
+		t.Errorf("reuse 0.9 top-dest share %.3f, want >= 0.25", cHot.TopDestShare)
+	}
+}
+
+// TestStrideVsRandomMix: stride-1 kernels touch memory sequentially, so
+// consecutive loads land 8 bytes apart far more often than random ones.
+func TestStrideVsRandomMix(t *testing.T) {
+	seqShare := func(p synth.Profile) float64 {
+		w, err := synth.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := w.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last uint64
+		var loads, seq int
+		for i := 0; i < 40_000 && !m.Halted; i++ {
+			tr, err := m.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Inst.Class().String() == "load" {
+				if last != 0 && tr.Addr-last == 8 {
+					seq++
+				}
+				last = tr.Addr
+				loads++
+			}
+		}
+		if loads == 0 {
+			t.Fatalf("%s: no loads", p.Name())
+		}
+		return float64(seq) / float64(loads)
+	}
+	base := synth.Profile{MemFootprintKB: 4, CodeFootprintKB: 2, Passes: 1}
+	strided := base
+	strided.StrideFrac = 1
+	if s, r := seqShare(strided), seqShare(base); s < 0.9 || r > 0.3 {
+		t.Errorf("sequential-load share: stride=1 %.3f (want >= 0.9), stride=0 %.3f (want <= 0.3)", s, r)
+	}
+}
+
+// TestILPTarget: with the per-block arithmetic budget fixed, spreading it
+// over more independent chains must raise baseline IPC.
+func TestILPTarget(t *testing.T) {
+	ipc := func(ilp int) float64 {
+		p := synth.Profile{ILP: ilp, MemFootprintKB: 4, CodeFootprintKB: 2, Passes: 4, Seed: 5}
+		w, err := synth.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.Register(w); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.RunConfig{Workload: p.Name(), Arch: sim.ArchBaseline, MaxInstructions: 20_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC
+	}
+	serial, parallel := ipc(1), ipc(6)
+	if parallel <= serial {
+		t.Errorf("baseline IPC: ILP 6 -> %.3f <= ILP 1 -> %.3f", parallel, serial)
+	}
+}
+
+// TestBuildRegistersCleanly: Build's workload integrates with the registry
+// and is idempotent under re-registration.
+func TestBuildRegistersCleanly(t *testing.T) {
+	p := synth.Profile{MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1, Seed: 11}
+	w, err := synth.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(w.Name, "synth/") {
+		t.Errorf("workload name %q lacks synth/ prefix", w.Name)
+	}
+	if err := workload.Register(w); err != nil {
+		t.Fatal(err)
+	}
+	again, err := synth.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Register(again); err != nil {
+		t.Errorf("idempotent re-registration failed: %v", err)
+	}
+	got, err := workload.Get(p.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WarmAddr() == 0 {
+		t.Error("registered synthetic workload has no warm point")
+	}
+	m := emu.New(got.Program())
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted {
+		t.Error("synthetic workload did not halt")
+	}
+}

@@ -20,6 +20,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"flywheel/internal/asm"
 	"flywheel/internal/emu"
@@ -44,6 +45,7 @@ type Workload struct {
 	// instructions before measuring).
 	WarmLabel string
 
+	once sync.Once
 	prog *asm.Program
 }
 
@@ -71,26 +73,52 @@ func (w *Workload) NewMachine() (*emu.Machine, error) {
 	return m, nil
 }
 
-// Program assembles the kernel (cached).
+// Program assembles the kernel (cached, safe for concurrent use — lab
+// workers share one Workload across parallel runs).
 func (w *Workload) Program() *asm.Program {
-	if w.prog == nil {
+	w.once.Do(func() {
 		w.prog = asm.MustAssemble(w.Name+".s", w.Source)
-	}
+	})
 	return w.prog
 }
 
-var registry = map[string]*Workload{}
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]*Workload{}
+)
 
 func register(w *Workload) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	if _, dup := registry[w.Name]; dup {
 		panic(fmt.Sprintf("workload: duplicate %q", w.Name))
 	}
 	registry[w.Name] = w
 }
 
+// Register adds a runtime-constructed workload (e.g. a synthetic kernel)
+// to the registry, making it addressable by name through the simulator and
+// the lab's memoized cache. Re-registering a name with identical source is
+// a no-op, so idempotent callers need no coordination; a name collision
+// with different source is an error.
+func Register(w *Workload) error {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if prev, ok := registry[w.Name]; ok {
+		if prev.Source != w.Source {
+			return fmt.Errorf("workload: %q already registered with different source", w.Name)
+		}
+		return nil
+	}
+	registry[w.Name] = w
+	return nil
+}
+
 // Get returns a workload by name.
 func Get(name string) (*Workload, error) {
+	registryMu.RLock()
 	w, ok := registry[name]
+	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
 	}
@@ -112,8 +140,10 @@ func Names() []string {
 	return []string{"ijpeg", "gcc", "gzip", "vpr", "mesa", "equake", "parser", "vortex", "bzip2", "turb3d"}
 }
 
-// All returns every workload in figure order.
+// All returns the paper's workloads in figure order.
 func All() []*Workload {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	out := make([]*Workload, 0, len(registry))
 	for _, n := range Names() {
 		out = append(out, registry[n])
@@ -123,6 +153,8 @@ func All() []*Workload {
 
 // Sorted returns every registered workload sorted by name (for tests).
 func Sorted() []*Workload {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	out := make([]*Workload, 0, len(registry))
 	for _, w := range registry {
 		out = append(out, w)

@@ -1,0 +1,60 @@
+package flywheel
+
+import "testing"
+
+// The public Config defaults differently from lab.Job: Instructions 0
+// means 300k measured instructions unless RunToCompletion is set, which
+// forces the unbounded path regardless of Instructions. These tests pin
+// that configurations identical after defaulting collide to one cache
+// entry, and meaningfully different ones never do.
+
+func TestConfigJobKeyDefaults(t *testing.T) {
+	base := Config{Benchmark: "gzip", Arch: ArchFlywheel, FEBoostPct: 50, BEBoostPct: 50}
+
+	implicit := base // Instructions 0 -> the 300k default
+	explicit := base
+	explicit.Instructions = 300_000
+	if implicit.job().Key() != explicit.job().Key() {
+		t.Errorf("Instructions 0 and 300000 differ:\n%q\n%q",
+			implicit.job().Key(), explicit.job().Key())
+	}
+
+	// RunToCompletion wins over any Instructions value.
+	rtc := base
+	rtc.RunToCompletion = true
+	rtcWithBudget := base
+	rtcWithBudget.RunToCompletion = true
+	rtcWithBudget.Instructions = 12_345
+	if rtc.job().Key() != rtcWithBudget.job().Key() {
+		t.Errorf("RunToCompletion keys differ with a stale Instructions value:\n%q\n%q",
+			rtc.job().Key(), rtcWithBudget.job().Key())
+	}
+
+	// But RunToCompletion is not the 300k default.
+	if rtc.job().Key() == implicit.job().Key() {
+		t.Errorf("run-to-completion collides with the default budget: %q", rtc.job().Key())
+	}
+
+	// Node defaulting matches the lab's normalization.
+	withNode := base
+	withNode.Node = Node130
+	if base.job().Key() != withNode.job().Key() {
+		t.Errorf("Node 0 and Node130 differ:\n%q\n%q", base.job().Key(), withNode.job().Key())
+	}
+}
+
+func TestConfigJobKeyDistinctProfiles(t *testing.T) {
+	// Distinct synthetic profiles produce distinct benchmark names and so
+	// distinct cache keys, even when every other knob matches.
+	a := Config{Benchmark: Profile{Seed: 1}.Name()}
+	b := Config{Benchmark: Profile{Seed: 2}.Name()}
+	c := Config{Benchmark: Profile{ILP: 1, Seed: 1}.Name()}
+	keys := map[string]string{}
+	for _, cfg := range []Config{a, b, c} {
+		k := cfg.job().Key()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("configs %q and %q share key %q", prev, cfg.Benchmark, k)
+		}
+		keys[k] = cfg.Benchmark
+	}
+}
