@@ -1,0 +1,220 @@
+// Command bench runs the repository's performance benchmarks and emits a
+// machine-readable report, so the simulator's throughput trajectory is
+// tracked PR over PR. It measures the raw emulator hot loop, each timing
+// core (baseline / flywheel / regalloc) end to end, and the experiment
+// suite through the lab, reporting ns per simulated instruction, heap
+// allocations per instruction and simulated MIPS.
+//
+// Usage:
+//
+//	go run ./cmd/bench                  # full run, writes BENCH_<date>.json
+//	go run ./cmd/bench -quick -o -      # CI smoke: fast budgets, stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/cacti"
+	"flywheel/internal/emu"
+	"flywheel/internal/experiments"
+	"flywheel/internal/lab"
+	"flywheel/internal/sim"
+)
+
+// Metrics is one measured configuration.
+type Metrics struct {
+	NsPerInst     float64 `json:"ns_per_inst"`
+	AllocsPerInst float64 `json:"allocs_per_inst"`
+	MIPS          float64 `json:"mips"`
+}
+
+// SuiteMetrics summarizes the lab-driven experiment suite.
+type SuiteMetrics struct {
+	Jobs       int     `json:"jobs"`
+	Workers    int     `json:"workers"`
+	TotalMs    float64 `json:"total_ms"`
+	MsPerJob   float64 `json:"ms_per_job"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Date            string             `json:"date"`
+	GoVersion       string             `json:"go_version"`
+	GOOS            string             `json:"goos"`
+	GOARCH          string             `json:"goarch"`
+	NumCPU          int                `json:"num_cpu"`
+	InstructionsPer uint64             `json:"instructions_per_run"`
+	Emu             Metrics            `json:"emu"`
+	Cores           map[string]Metrics `json:"cores"`
+	Suite           SuiteMetrics       `json:"suite"`
+}
+
+// emuLoop is the steady-state kernel for the raw emulator measurement.
+const emuLoop = `
+        .data
+buf:    .space 64
+        .text
+        la   r2, buf
+        li   r1, 500000000
+loop:   ld   r3, 0(r2)
+        addi r3, r3, 1
+        sd   r3, 0(r2)
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`
+
+// benchEmu measures the raw emulator step loop; the kernel is steady-state
+// and driven purely by testing.Benchmark's b.N, so it takes no budget.
+func benchEmu() (Metrics, error) {
+	prog, err := asm.Assemble("bench-loop.s", emuLoop)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := emu.New(prog)
+	if _, err := m.Run(1000); err != nil {
+		return Metrics{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ns := float64(r.NsPerOp())
+	return Metrics{
+		NsPerInst:     ns,
+		AllocsPerInst: float64(r.AllocsPerOp()),
+		MIPS:          1e3 / ns,
+	}, nil
+}
+
+func benchCore(arch sim.Arch, instructions uint64) (Metrics, error) {
+	cfg := sim.RunConfig{
+		Workload: "ijpeg", Arch: arch, Node: cacti.Node130,
+		FEBoostPct: 50, BEBoostPct: 50, MaxInstructions: instructions,
+	}
+	// Prime the warm-snapshot cache so the measurement reflects the
+	// steady-state hot loop, not one-time setup.
+	if _, err := sim.Run(cfg); err != nil {
+		return Metrics{}, err
+	}
+	var retired uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			retired = res.Retired
+		}
+	})
+	if retired == 0 {
+		return Metrics{}, fmt.Errorf("bench %v: no instructions retired", arch)
+	}
+	nsPerInst := float64(r.NsPerOp()) / float64(retired)
+	return Metrics{
+		NsPerInst:     nsPerInst,
+		AllocsPerInst: float64(r.AllocsPerOp()) / float64(retired),
+		MIPS:          1e3 / nsPerInst,
+	}, nil
+}
+
+func benchSuite(instructions uint64) (SuiteMetrics, error) {
+	jobs := experiments.SuiteJobs(experiments.Options{
+		Instructions: instructions, Node: cacti.Node130,
+	})
+	workers := runtime.GOMAXPROCS(0)
+	start := time.Now()
+	if _, err := lab.Run(jobs, lab.Options{Workers: workers, Cache: lab.NewCache()}); err != nil {
+		return SuiteMetrics{}, err
+	}
+	total := time.Since(start)
+	return SuiteMetrics{
+		Jobs:       len(jobs),
+		Workers:    workers,
+		TotalMs:    float64(total.Microseconds()) / 1e3,
+		MsPerJob:   float64(total.Microseconds()) / 1e3 / float64(len(jobs)),
+		JobsPerSec: float64(len(jobs)) / total.Seconds(),
+	}, nil
+}
+
+func run(out io.Writer, quick bool, outPath string) error {
+	instructions := uint64(40_000)
+	if quick {
+		instructions = 6_000
+	}
+	rep := Report{
+		Date:            time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		NumCPU:          runtime.NumCPU(),
+		InstructionsPer: instructions,
+		Cores:           map[string]Metrics{},
+	}
+
+	var err error
+	if rep.Emu, err = benchEmu(); err != nil {
+		return err
+	}
+	for arch, name := range map[sim.Arch]string{
+		sim.ArchBaseline: "baseline",
+		sim.ArchFlywheel: "flywheel",
+		sim.ArchRegAlloc: "regalloc",
+	} {
+		m, err := benchCore(arch, instructions)
+		if err != nil {
+			return err
+		}
+		rep.Cores[name] = m
+	}
+	if rep.Suite, err = benchSuite(instructions); err != nil {
+		return err
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath == "-" {
+		_, err = out.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	fmt.Fprintf(out, "emu: %.1f ns/inst (%.1f MIPS)  baseline: %.0f ns/inst (%.2f MIPS, %.3f allocs/inst)  flywheel: %.0f ns/inst (%.2f MIPS, %.3f allocs/inst)  suite: %.0f ms for %d jobs\n",
+		rep.Emu.NsPerInst, rep.Emu.MIPS,
+		rep.Cores["baseline"].NsPerInst, rep.Cores["baseline"].MIPS, rep.Cores["baseline"].AllocsPerInst,
+		rep.Cores["flywheel"].NsPerInst, rep.Cores["flywheel"].MIPS, rep.Cores["flywheel"].AllocsPerInst,
+		rep.Suite.TotalMs, rep.Suite.Jobs)
+	return nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced instruction budgets (CI smoke)")
+	outPath := flag.String("o", "", `output path; "-" for stdout (default BENCH_<date>.json)`)
+	flag.Parse()
+	if *outPath == "" {
+		*outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+	}
+	if err := run(os.Stdout, *quick, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestReportJSONShape pins the emitted schema: downstream tooling greps
+// these keys out of BENCH_<date>.json.
+func TestReportJSONShape(t *testing.T) {
+	rep := Report{
+		Date:            "2026-01-01T00:00:00Z",
+		Cores:           map[string]Metrics{"baseline": {NsPerInst: 1, MIPS: 1000}},
+		Suite:           SuiteMetrics{Jobs: 3},
+		InstructionsPer: 42,
+	}
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(enc, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"date", "go_version", "goos", "goarch", "num_cpu",
+		"instructions_per_run", "emu", "cores", "suite",
+	} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("report JSON missing key %q", key)
+		}
+	}
+	cores := got["cores"].(map[string]any)
+	base := cores["baseline"].(map[string]any)
+	for _, key := range []string{"ns_per_inst", "allocs_per_inst", "mips"} {
+		if _, ok := base[key]; !ok {
+			t.Errorf("core metrics missing key %q", key)
+		}
+	}
+}
+
+// TestBenchSuiteTiny drives the suite measurement end to end with a tiny
+// budget.
+func TestBenchSuiteTiny(t *testing.T) {
+	m, err := benchSuite(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs == 0 || m.TotalMs <= 0 || m.JobsPerSec <= 0 {
+		t.Fatalf("implausible suite metrics: %+v", m)
+	}
+}

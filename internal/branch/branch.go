@@ -103,6 +103,22 @@ func New(cfg Config) *Predictor {
 // Config returns the predictor configuration.
 func (p *Predictor) Config() Config { return p.cfg }
 
+// CopyStateFrom copies the table state (PHT, BTB, RAS, history) and
+// statistics of an identically configured predictor into this one. It lets
+// warmed predictor state be cloned into a fresh core instead of replaying
+// the warm branch stream. It panics on configuration mismatch (caller bug).
+func (p *Predictor) CopyStateFrom(src *Predictor) {
+	if p.cfg != src.cfg {
+		panic("branch: CopyStateFrom with mismatched config")
+	}
+	copy(p.pht, src.pht)
+	copy(p.btb, src.btb)
+	copy(p.ras, src.ras)
+	p.history = src.history
+	p.rasTop = src.rasTop
+	p.Stats = src.Stats
+}
+
 func ceilPow2(n int) int {
 	v := 1
 	for v < n {

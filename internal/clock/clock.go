@@ -77,6 +77,7 @@ func (d *Domain) Ungate() { d.gated = false }
 type System struct {
 	domains []*Domain
 	now     int64
+	fired   []*Domain // reused result buffer for Advance
 }
 
 // NewSystem builds a system over the given domains.
@@ -90,7 +91,8 @@ func (s *System) Now() int64 { return s.now }
 // Advance moves time to the earliest pending edge and returns every domain
 // with an edge at that instant (already ticked). Gated domains still tick —
 // their edges exist but are marked gated — so that re-enabling a domain
-// keeps a sane phase.
+// keeps a sane phase. The returned slice is reused by the next Advance
+// call; callers must not retain it.
 func (s *System) Advance() (int64, []*Domain) {
 	if len(s.domains) == 0 {
 		return s.now, nil
@@ -101,13 +103,14 @@ func (s *System) Advance() (int64, []*Domain) {
 			t = e
 		}
 	}
-	var fired []*Domain
+	fired := s.fired[:0]
 	for _, d := range s.domains {
 		if d.NextEdge() == t {
 			d.Tick()
 			fired = append(fired, d)
 		}
 	}
+	s.fired = fired
 	s.now = t
 	return t, fired
 }

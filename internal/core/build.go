@@ -104,7 +104,7 @@ func (c *Core) buildIssue(now int64) {
 	if len(selected) == 0 {
 		return
 	}
-	var slots []Slot
+	slots := c.slotScratch[:0]
 	record := c.builder != nil
 	for _, d := range selected {
 		c.executeInst(d, now, p)
@@ -122,7 +122,10 @@ func (c *Core) buildIssue(now int64) {
 			})
 		}
 	}
+	c.slotScratch = slots
 	if record {
+		// AddUnit copies the slots into the trace's pending block, so the
+		// scratch buffer can be reused next cycle.
 		c.builder.AddUnit(slots)
 		if c.builder.Full() && !c.sealing {
 			// Trace reached capacity: stall dispatch and drain the window
@@ -138,7 +141,7 @@ func (c *Core) executeInst(d *pipe.DynInst, now, p int64) {
 	d.State = pipe.StateIssued
 	d.IssuedAt = now
 	lat := int64(c.fu.Latency(d.Class()))
-	c.stats.RegReads += uint64(len(d.Inst().Sources()))
+	c.stats.RegReads += uint64(d.Inst().NumSources())
 
 	switch {
 	case d.IsLoad():
@@ -238,9 +241,11 @@ func (c *Core) enterReplay(now int64, r Reader, startSeq uint64) {
 			break
 		}
 		c.window.Unconsume(d.Trace)
+		c.arena.Free(d)
 	}
 	if d := c.fetcher.TakePending(); d != nil {
 		c.window.Unconsume(d.Trace)
+		c.arena.Free(d)
 	}
 	c.fetcher.ForceUnblock()
 	c.switchMode(now, ModeReplay)

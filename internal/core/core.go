@@ -40,6 +40,7 @@ type Core struct {
 	sys     *clock.System
 	pred    *branch.Predictor
 	hier    *mem.Hierarchy
+	arena   *pipe.Arena
 	fetcher *pipe.Fetcher
 	front   *clock.Queue[*pipe.DynInst]
 	iw      *pipe.IssueWindow
@@ -80,6 +81,11 @@ type Core struct {
 	redistDeadline   uint64
 	redistStallUntil int64
 
+	// Reused per-cycle scratch buffers (hot-loop allocation avoidance).
+	slotScratch []Slot
+	replayRecs  []emu.Trace
+	replayInsts []*pipe.DynInst
+
 	// Mode-time accounting.
 	lastModeSwitch int64
 
@@ -92,6 +98,7 @@ func New(cfg Config, stream *emu.Stream) *Core {
 	pred := branch.New(cfg.Branch)
 	hier := mem.NewHierarchy(cfg.Mem)
 	window := newOracleWindow(stream)
+	arena := pipe.NewArena(pipe.ArenaCapacity(cfg.ROBSize, cfg.FrontQueueCap, cfg.FetchWidth))
 	c := &Core{
 		cfg:     cfg,
 		window:  window,
@@ -99,13 +106,14 @@ func New(cfg Config, stream *emu.Stream) *Core {
 		be:      clock.NewDomain("back-end", cfg.BasePeriodPS, 0),
 		pred:    pred,
 		hier:    hier,
-		fetcher: pipe.NewFetcher(window, pred, hier, cfg.FetchWidth),
+		arena:   arena,
+		fetcher: pipe.NewFetcher(window, pred, hier, cfg.FetchWidth, arena),
 		front:   clock.NewQueue[*pipe.DynInst](cfg.FrontQueueCap),
 		iw:      pipe.NewIssueWindow(cfg.IWSize),
 		rob:     pipe.NewROB(cfg.ROBSize),
 		lsq:     pipe.NewLSQ(cfg.LSQSize),
 		fu:      pipe.NewFUPool(cfg.FU),
-		rat:     pipe.NewRAT(),
+		rat:     pipe.NewRAT(arena),
 		ren:     NewRenamer(cfg.Pools),
 		ec:      NewEC(cfg.EC),
 	}
@@ -209,7 +217,9 @@ func (c *Core) retire(now int64) {
 				c.onMispredictRetire(now, head)
 			}
 		}
-		if head.IsHalt() {
+		halt := head.IsHalt()
+		c.arena.Free(head)
+		if halt {
 			c.halted = true
 			return
 		}

@@ -146,38 +146,43 @@ func (c *Core) issueUnit(now, p int64) {
 	unit := run.buffered[:end]
 
 	// Pair slots with oracle records; any PC mismatch means the trace's
-	// recorded path diverged from actual execution.
-	insts := make([]*pipe.DynInst, len(unit))
-	for i, s := range unit {
+	// recorded path diverged from actual execution. Records are gathered
+	// into a reused scratch buffer — arena slots are only claimed once the
+	// whole unit is known to issue, so a stalled unit costs no allocation
+	// and no cleanup.
+	recs := c.replayRecs[:0]
+	for _, s := range unit {
 		seq := run.startSeq + uint64(s.SeqOffset)
 		rec, ok := c.window.At(seq)
 		if !ok || c.window.Consumed(seq) || rec.PC != s.PC {
 			if debugDivergence != nil {
 				debugDivergence(run, s, rec, ok, c.window.Consumed(seq))
 			}
+			c.replayRecs = recs
 			c.stats.Divergences++
 			c.startDrain(now + int64(c.cfg.DivergenceDetectCycles)*p)
 			return
 		}
-		insts[i] = pipe.NewDynInst(rec)
-		insts[i].LID = s.LID
+		recs = append(recs, rec)
 	}
+	c.replayRecs = recs
 
 	// Structural checks for the whole unit (atomic issue).
 	memOps := 0
 	var destNeed [isa.NumArchRegs]int
 	var fuNeed [pipe.NumFUGroups]int
-	for _, d := range insts {
-		in := d.Inst()
-		if d.IsLoad() || d.IsStore() {
+	for _, rec := range recs {
+		in := rec.Inst
+		switch in.Class() {
+		case isa.ClassLoad, isa.ClassStore:
 			memOps++
 		}
 		if in.HasDest() {
 			destNeed[in.Rd]++
 		}
-		fuNeed[pipe.GroupOf(d.Class())]++
+		fuNeed[pipe.GroupOf(in.Class())]++
 	}
-	if c.rob.Len()+len(insts) > c.rob.Cap() || c.lsq.Len()+memOps > c.lsq.Cap() {
+	if c.rob.Len()+len(recs) > c.rob.Cap() || c.lsq.Len()+memOps > c.lsq.Cap() {
 		c.stats.ReplayStallResource++
 		return
 	}
@@ -199,17 +204,26 @@ func (c *Core) issueUnit(now, p int64) {
 		}
 	}
 	// Scoreboard: every operand of every slot must be ready (VLIW-style).
-	for _, d := range insts {
-		if !c.rat.SourcesReady(d, now) {
+	for i, rec := range recs {
+		if !c.rat.SourceRegsReady(rec.Inst, now) {
 			c.stats.ReplayStallData++
 			if debugStall != nil {
+				d := pipe.NewDynInst(rec)
+				d.LID = unit[i].LID
 				debugStall(c, d, now)
 			}
 			return
 		}
 	}
 
-	// Commit the unit.
+	// Commit the unit: claim arena slots and execute.
+	insts := c.replayInsts[:0]
+	for i, rec := range recs {
+		d := c.arena.Alloc(rec)
+		d.LID = unit[i].LID
+		insts = append(insts, d)
+	}
+	c.replayInsts = insts
 	for _, d := range insts {
 		in := d.Inst()
 		c.rat.Link(d)
@@ -226,7 +240,6 @@ func (c *Core) issueUnit(now, p int64) {
 		c.window.Consume(d.Seq())
 		c.stats.IssuedReplay++
 		c.stats.UpdateOps++
-		c.stats.RegReads += uint64(len(in.Sources()))
 	}
 	run.buffered = append(run.buffered[:0], run.buffered[end:]...)
 	c.stats.ReplayUnits++

@@ -16,7 +16,11 @@ type oracleWindow struct {
 	base     uint64 // sequence number of entries[0]
 	entries  []emu.Trace
 	consumed []bool
-	drained  bool
+	// prefix counts the leading fully consumed entries, maintained
+	// incrementally so consuming and compacting stay O(1) amortized per
+	// record instead of rescanning the prefix on every consume.
+	prefix  int
+	drained bool
 	// requeue holds records handed back by a front-end squash after their
 	// window slots were compacted away (divergences can scatter consumed
 	// holes across a wide range). Served oldest-first before the window.
@@ -81,6 +85,11 @@ func (w *oracleWindow) Consume(seq uint64) {
 	i := seq - w.base
 	if i < uint64(len(w.consumed)) {
 		w.consumed[i] = true
+		if int(i) == w.prefix {
+			for w.prefix < len(w.consumed) && w.consumed[w.prefix] {
+				w.prefix++
+			}
+		}
 	}
 	w.compact()
 }
@@ -103,6 +112,9 @@ func (w *oracleWindow) Unconsume(tr emu.Trace) {
 	}
 	if i := tr.Seq - w.base; i < uint64(len(w.consumed)) {
 		w.consumed[i] = false
+		if int(i) < w.prefix {
+			w.prefix = int(i)
+		}
 	}
 }
 
@@ -111,7 +123,8 @@ func (w *oracleWindow) NextUnconsumed() (emu.Trace, bool) {
 	if len(w.requeue) > 0 {
 		return w.requeue[0], true
 	}
-	for i := range w.entries {
+	// Entries below the consumed prefix need no scan.
+	for i := w.prefix; i < len(w.entries); i++ {
 		if !w.consumed[i] {
 			return w.entries[i], true
 		}
@@ -150,13 +163,10 @@ func (w *oracleWindow) Drained() bool { return w.drained }
 // the front queue, the fetcher lookahead and one fetch group.
 func (w *oracleWindow) compact() {
 	const margin = 128
-	n := 0
-	for n < len(w.consumed) && w.consumed[n] {
-		n++
-	}
-	if n > 4*margin {
-		drop := n - margin
+	if w.prefix > 4*margin {
+		drop := w.prefix - margin
 		w.base += uint64(drop)
+		w.prefix -= drop
 		w.entries = append(w.entries[:0], w.entries[drop:]...)
 		w.consumed = append(w.consumed[:0], w.consumed[drop:]...)
 	}

@@ -1,0 +1,200 @@
+package emu
+
+import (
+	"testing"
+
+	"flywheel/internal/asm"
+)
+
+// loopSource is a small steady-state kernel touching registers, memory and
+// control flow — every hot-loop path of Step.
+const loopSource = `
+        .data
+buf:    .space 64
+        .text
+        la   r2, buf
+        li   r1, 500000000
+loop:   ld   r3, 0(r2)
+        addi r3, r3, 1
+        sd   r3, 0(r2)
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`
+
+func loopMachine(t testing.TB) *Machine {
+	t.Helper()
+	prog, err := asm.Assemble("loop.s", loopSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(prog)
+}
+
+// TestStepAllocFree pins the per-instruction emulation path at zero heap
+// allocations: the hot loop of every simulation must not create GC work.
+func TestStepAllocFree(t *testing.T) {
+	m := loopMachine(t)
+	// Prime: touch the data page and warm any lazy state.
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			if _, err := m.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Machine.Step allocates: %.2f allocs per 100 steps, want 0", avg)
+	}
+}
+
+// TestStreamFillAllocFree pins batched stream delivery at zero allocations
+// when the caller owns the buffer.
+func TestStreamFillAllocFree(t *testing.T) {
+	m := loopMachine(t)
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(m, 0)
+	buf := make([]Trace, 256)
+	avg := testing.AllocsPerRun(100, func() {
+		if n := s.Fill(buf); n != len(buf) {
+			t.Fatalf("Fill returned %d, want %d", n, len(buf))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Stream.Fill allocates: %.2f allocs per call, want 0", avg)
+	}
+}
+
+// TestFillMatchesNext checks that batched delivery produces exactly the
+// record sequence Next would.
+func TestFillMatchesNext(t *testing.T) {
+	a, b := loopMachine(t), loopMachine(t)
+	sa := NewStream(a, 1000)
+	sb := NewStream(b, 1000)
+	buf := make([]Trace, 64)
+	var got []Trace
+	for {
+		n := sa.Fill(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	var want []Trace
+	for {
+		tr, ok := sb.Next()
+		if !ok {
+			break
+		}
+		want = append(want, tr)
+	}
+	if sa.Err() != nil || sb.Err() != nil {
+		t.Fatal(sa.Err(), sb.Err())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Fill produced %d records, Next produced %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs: Fill=%+v Next=%+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSnapshotCloneMatchesFreshRun checks that a machine cloned from a
+// mid-run snapshot finishes with the same architectural state as an
+// uninterrupted run.
+func TestSnapshotCloneMatchesFreshRun(t *testing.T) {
+	ref := loopMachine(t)
+	if _, err := ref.Run(50_000); err != nil {
+		t.Fatal(err)
+	}
+
+	m := loopMachine(t)
+	if _, err := m.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	clone := snap.NewMachine()
+	if clone.Retired != snap.Retired() {
+		t.Fatalf("clone retired %d, snapshot %d", clone.Retired, snap.Retired())
+	}
+	if _, err := clone.Run(40_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if clone.PC != ref.PC || clone.Retired != ref.Retired {
+		t.Fatalf("clone pc=%#x retired=%d, ref pc=%#x retired=%d",
+			clone.PC, clone.Retired, ref.PC, ref.Retired)
+	}
+	if clone.IntRegs != ref.IntRegs || clone.FPRegs != ref.FPRegs {
+		t.Fatal("register state differs between clone and fresh run")
+	}
+	bufAddr := asm.DataBase
+	if got, want := clone.Mem.ReadBytes(bufAddr, 64), ref.Mem.ReadBytes(bufAddr, 64); string(got) != string(want) {
+		t.Fatal("memory state differs between clone and fresh run")
+	}
+}
+
+// TestSnapshotClonesAreIsolated checks copy-on-write isolation: writes in
+// one clone (or in the snapshotted machine itself) must not leak into
+// sibling clones.
+func TestSnapshotClonesAreIsolated(t *testing.T) {
+	m := loopMachine(t)
+	if _, err := m.Run(5_000); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+
+	c1 := snap.NewMachine()
+	c2 := snap.NewMachine()
+	before := c2.Mem.Read(asm.DataBase, 8)
+
+	// Writes through the original machine and through clone 1.
+	m.Mem.Write(asm.DataBase, 8, 0xdead)
+	c1.Mem.Write(asm.DataBase, 8, 0xbeef)
+
+	if got := c2.Mem.Read(asm.DataBase, 8); got != before {
+		t.Fatalf("clone 2 saw foreign write: %#x, want %#x", got, before)
+	}
+	if got := c1.Mem.Read(asm.DataBase, 8); got != 0xbeef {
+		t.Fatalf("clone 1 lost its own write: %#x", got)
+	}
+}
+
+// BenchmarkStep measures the raw per-instruction emulation cost.
+func BenchmarkStep(b *testing.B) {
+	m := loopMachine(b)
+	if _, err := m.Run(1000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamFill measures batched stream delivery.
+func BenchmarkStreamFill(b *testing.B) {
+	m := loopMachine(b)
+	if _, err := m.Run(1000); err != nil {
+		b.Fatal(err)
+	}
+	s := NewStream(m, 0)
+	buf := make([]Trace, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(buf) {
+		if n := s.Fill(buf); n != len(buf) {
+			b.Fatal("stream ended")
+		}
+	}
+}

@@ -24,11 +24,16 @@ type Machine struct {
 	Halted  bool
 	// Retired counts executed instructions.
 	Retired uint64
+
+	// code is the predecoded fetch array: instruction i lives at address
+	// CodeBase + 4*i. Step indexes it directly instead of going through
+	// Prog.InstAt, keeping the hot loop free of interface and map work.
+	code []isa.Instruction
 }
 
 // New loads the program image into a fresh machine.
 func New(p *asm.Program) *Machine {
-	m := &Machine{Prog: p, PC: p.Entry, Mem: mem.NewMemory()}
+	m := &Machine{Prog: p, PC: p.Entry, Mem: mem.NewMemory(), code: p.Code}
 	// Load the code image so the I-side of the timing models can treat
 	// fetches as real memory reads.
 	code := make([]byte, 0, len(p.Code)*isa.InstBytes)
@@ -43,6 +48,54 @@ func New(p *asm.Program) *Machine {
 	// Give programs a stack: sp (r29) starts high and grows down.
 	m.IntRegs[29] = StackTop
 	return m
+}
+
+// Snapshot is a frozen machine state: the register file plus a
+// copy-on-write memory image. Cloning machines from a snapshot is O(1) in
+// the memory footprint, so a warm-up phase executed once can seed any
+// number of measurement runs (see package sim's warm-snapshot cache).
+type Snapshot struct {
+	prog    *asm.Program
+	pc      uint64
+	intRegs [isa.NumIntRegs]uint64
+	fpRegs  [isa.NumFPRegs]float64
+	halted  bool
+	retired uint64
+	mem     *mem.Snapshot
+}
+
+// Snapshot captures the machine's current architectural state. The machine
+// remains usable; its memory switches to copy-on-write so the snapshot
+// stays immutable.
+func (m *Machine) Snapshot() *Snapshot {
+	return &Snapshot{
+		prog:    m.Prog,
+		pc:      m.PC,
+		intRegs: m.IntRegs,
+		fpRegs:  m.FPRegs,
+		halted:  m.Halted,
+		retired: m.Retired,
+		mem:     m.Mem.Snapshot(),
+	}
+}
+
+// Retired reports how many instructions had retired when the snapshot was
+// taken.
+func (s *Snapshot) Retired() uint64 { return s.retired }
+
+// NewMachine clones a runnable machine from the snapshot. Clones share
+// memory pages copy-on-write and may run concurrently.
+func (s *Snapshot) NewMachine() *Machine {
+	return &Machine{
+		Prog:    s.prog,
+		PC:      s.pc,
+		IntRegs: s.intRegs,
+		FPRegs:  s.fpRegs,
+		Halted:  s.halted,
+		Retired: s.retired,
+		Mem:     s.mem.NewMemory(),
+		code:    s.prog.Code,
+	}
 }
 
 // StackTop is the initial stack pointer handed to programs.
@@ -93,137 +146,142 @@ func (m *Machine) WriteReg(r isa.Reg, bits uint64) {
 	}
 }
 
+// readInt returns a register as a signed integer.
+func (m *Machine) readInt(r isa.Reg) int64 { return int64(m.ReadReg(r)) }
+
+// readFP returns a register as a float.
+func (m *Machine) readFP(r isa.Reg) float64 { return math.Float64frombits(m.ReadReg(r)) }
+
+// writeInt sets a register from a signed integer.
+func (m *Machine) writeInt(r isa.Reg, v int64) { m.WriteReg(r, uint64(v)) }
+
+// writeFP sets a register from a float.
+func (m *Machine) writeFP(r isa.Reg, v float64) { m.WriteReg(r, math.Float64bits(v)) }
+
 // Step executes one instruction and returns its trace record.
 // Calling Step on a halted machine is an error.
+//
+// The body is deliberately closure-free and fetches through the predecoded
+// code array: this is the innermost loop of every simulation, and it must
+// not allocate.
 func (m *Machine) Step() (Trace, error) {
 	if m.Halted {
 		return Trace{}, fmt.Errorf("emu: step after halt at pc %#x", m.PC)
 	}
-	in, ok := m.Prog.InstAt(m.PC)
-	if !ok {
+	idx := m.PC - asm.CodeBase
+	if m.PC < asm.CodeBase || idx%isa.InstBytes != 0 || idx/isa.InstBytes >= uint64(len(m.code)) {
 		return Trace{}, fmt.Errorf("emu: pc %#x outside code section", m.PC)
 	}
+	in := m.code[idx/isa.InstBytes]
 	tr := Trace{Seq: m.Retired, PC: m.PC, Inst: in, NextPC: m.PC + isa.InstBytes}
-
-	ri := func(r isa.Reg) int64 { return int64(m.ReadReg(r)) }
-	ru := func(r isa.Reg) uint64 { return m.ReadReg(r) }
-	rf := func(r isa.Reg) float64 { return math.Float64frombits(m.ReadReg(r)) }
-	wi := func(v int64) { m.WriteReg(in.Rd, uint64(v)) }
-	wf := func(v float64) { m.WriteReg(in.Rd, math.Float64bits(v)) }
-	branch := func(cond bool) {
-		tr.Taken = cond
-		if cond {
-			tr.NextPC = m.PC + uint64(int64(in.Imm))*isa.InstBytes
-		}
-	}
 
 	switch in.Op {
 	case isa.NOP:
 	case isa.ADD:
-		wi(ri(in.Rs1) + ri(in.Rs2))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)+m.readInt(in.Rs2))
 	case isa.SUB:
-		wi(ri(in.Rs1) - ri(in.Rs2))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)-m.readInt(in.Rs2))
 	case isa.AND:
-		wi(ri(in.Rs1) & ri(in.Rs2))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)&m.readInt(in.Rs2))
 	case isa.OR:
-		wi(ri(in.Rs1) | ri(in.Rs2))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)|m.readInt(in.Rs2))
 	case isa.XOR:
-		wi(ri(in.Rs1) ^ ri(in.Rs2))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)^m.readInt(in.Rs2))
 	case isa.SLL:
-		wi(int64(ru(in.Rs1) << (ru(in.Rs2) & 63)))
+		m.writeInt(in.Rd, int64(m.ReadReg(in.Rs1)<<(m.ReadReg(in.Rs2)&63)))
 	case isa.SRL:
-		wi(int64(ru(in.Rs1) >> (ru(in.Rs2) & 63)))
+		m.writeInt(in.Rd, int64(m.ReadReg(in.Rs1)>>(m.ReadReg(in.Rs2)&63)))
 	case isa.SRA:
-		wi(ri(in.Rs1) >> (ru(in.Rs2) & 63))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)>>(m.ReadReg(in.Rs2)&63))
 	case isa.SLT:
-		wi(boolToInt(ri(in.Rs1) < ri(in.Rs2)))
+		m.writeInt(in.Rd, boolToInt(m.readInt(in.Rs1) < m.readInt(in.Rs2)))
 	case isa.SLTU:
-		wi(boolToInt(ru(in.Rs1) < ru(in.Rs2)))
+		m.writeInt(in.Rd, boolToInt(m.ReadReg(in.Rs1) < m.ReadReg(in.Rs2)))
 	case isa.ADDI:
-		wi(ri(in.Rs1) + int64(in.Imm))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)+int64(in.Imm))
 	case isa.ANDI:
-		wi(ri(in.Rs1) & int64(in.Imm))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)&int64(in.Imm))
 	case isa.ORI:
-		wi(ri(in.Rs1) | int64(in.Imm))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)|int64(in.Imm))
 	case isa.XORI:
-		wi(ri(in.Rs1) ^ int64(in.Imm))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)^int64(in.Imm))
 	case isa.SLTI:
-		wi(boolToInt(ri(in.Rs1) < int64(in.Imm)))
+		m.writeInt(in.Rd, boolToInt(m.readInt(in.Rs1) < int64(in.Imm)))
 	case isa.SLLI:
-		wi(int64(ru(in.Rs1) << (uint64(in.Imm) & 63)))
+		m.writeInt(in.Rd, int64(m.ReadReg(in.Rs1)<<(uint64(in.Imm)&63)))
 	case isa.SRLI:
-		wi(int64(ru(in.Rs1) >> (uint64(in.Imm) & 63)))
+		m.writeInt(in.Rd, int64(m.ReadReg(in.Rs1)>>(uint64(in.Imm)&63)))
 	case isa.SRAI:
-		wi(ri(in.Rs1) >> (uint64(in.Imm) & 63))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)>>(uint64(in.Imm)&63))
 	case isa.LUI:
-		wi(int64(in.Imm) << 12)
+		m.writeInt(in.Rd, int64(in.Imm)<<12)
 	case isa.MUL:
-		wi(ri(in.Rs1) * ri(in.Rs2))
+		m.writeInt(in.Rd, m.readInt(in.Rs1)*m.readInt(in.Rs2))
 	case isa.DIV:
-		d := ri(in.Rs2)
+		d := m.readInt(in.Rs2)
 		if d == 0 {
-			wi(-1) // divide by zero: all ones, RISC-V style
+			m.writeInt(in.Rd, -1) // divide by zero: all ones, RISC-V style
 		} else {
-			wi(ri(in.Rs1) / d)
+			m.writeInt(in.Rd, m.readInt(in.Rs1)/d)
 		}
 	case isa.REM:
-		d := ri(in.Rs2)
+		d := m.readInt(in.Rs2)
 		if d == 0 {
-			wi(ri(in.Rs1))
+			m.writeInt(in.Rd, m.readInt(in.Rs1))
 		} else {
-			wi(ri(in.Rs1) % d)
+			m.writeInt(in.Rd, m.readInt(in.Rs1)%d)
 		}
 	case isa.LD, isa.LW, isa.LB, isa.FLD:
-		tr.Addr = uint64(ri(in.Rs1) + int64(in.Imm))
+		tr.Addr = uint64(m.readInt(in.Rs1) + int64(in.Imm))
 		v := m.Mem.Read(tr.Addr, in.MemWidth())
 		if in.Op == isa.FLD {
 			m.WriteReg(in.Rd, v)
 		} else {
-			wi(int64(v)) // loads zero-extend
+			m.writeInt(in.Rd, int64(v)) // loads zero-extend
 		}
 	case isa.SD, isa.SW, isa.SB, isa.FSD:
-		tr.Addr = uint64(ri(in.Rs1) + int64(in.Imm))
-		m.Mem.Write(tr.Addr, in.MemWidth(), ru(in.Rs2))
+		tr.Addr = uint64(m.readInt(in.Rs1) + int64(in.Imm))
+		m.Mem.Write(tr.Addr, in.MemWidth(), m.ReadReg(in.Rs2))
 	case isa.BEQ:
-		branch(ri(in.Rs1) == ri(in.Rs2))
+		m.branch(&tr, m.readInt(in.Rs1) == m.readInt(in.Rs2))
 	case isa.BNE:
-		branch(ri(in.Rs1) != ri(in.Rs2))
+		m.branch(&tr, m.readInt(in.Rs1) != m.readInt(in.Rs2))
 	case isa.BLT:
-		branch(ri(in.Rs1) < ri(in.Rs2))
+		m.branch(&tr, m.readInt(in.Rs1) < m.readInt(in.Rs2))
 	case isa.BGE:
-		branch(ri(in.Rs1) >= ri(in.Rs2))
+		m.branch(&tr, m.readInt(in.Rs1) >= m.readInt(in.Rs2))
 	case isa.J:
 		tr.Taken = true
 		tr.NextPC = m.PC + uint64(int64(in.Imm))*isa.InstBytes
 	case isa.JAL:
 		tr.Taken = true
-		wi(int64(m.PC + isa.InstBytes))
+		m.writeInt(in.Rd, int64(m.PC+isa.InstBytes))
 		tr.NextPC = m.PC + uint64(int64(in.Imm))*isa.InstBytes
 	case isa.JALR:
 		tr.Taken = true
-		target := ru(in.Rs1) &^ 3
-		wi(int64(m.PC + isa.InstBytes))
+		target := m.ReadReg(in.Rs1) &^ 3
+		m.writeInt(in.Rd, int64(m.PC+isa.InstBytes))
 		tr.NextPC = target
 	case isa.FADD:
-		wf(rf(in.Rs1) + rf(in.Rs2))
+		m.writeFP(in.Rd, m.readFP(in.Rs1)+m.readFP(in.Rs2))
 	case isa.FSUB:
-		wf(rf(in.Rs1) - rf(in.Rs2))
+		m.writeFP(in.Rd, m.readFP(in.Rs1)-m.readFP(in.Rs2))
 	case isa.FMUL:
-		wf(rf(in.Rs1) * rf(in.Rs2))
+		m.writeFP(in.Rd, m.readFP(in.Rs1)*m.readFP(in.Rs2))
 	case isa.FDIV:
-		wf(rf(in.Rs1) / rf(in.Rs2))
+		m.writeFP(in.Rd, m.readFP(in.Rs1)/m.readFP(in.Rs2))
 	case isa.FNEG:
-		wf(-rf(in.Rs1))
+		m.writeFP(in.Rd, -m.readFP(in.Rs1))
 	case isa.FMOV:
-		wf(rf(in.Rs1))
+		m.writeFP(in.Rd, m.readFP(in.Rs1))
 	case isa.FCVTIF:
-		wf(float64(ri(in.Rs1)))
+		m.writeFP(in.Rd, float64(m.readInt(in.Rs1)))
 	case isa.FCVTFI:
-		wi(int64(rf(in.Rs1)))
+		m.writeInt(in.Rd, int64(m.readFP(in.Rs1)))
 	case isa.FLT:
-		wi(boolToInt(rf(in.Rs1) < rf(in.Rs2)))
+		m.writeInt(in.Rd, boolToInt(m.readFP(in.Rs1) < m.readFP(in.Rs2)))
 	case isa.FEQ:
-		wi(boolToInt(rf(in.Rs1) == rf(in.Rs2)))
+		m.writeInt(in.Rd, boolToInt(m.readFP(in.Rs1) == m.readFP(in.Rs2)))
 	case isa.HALT:
 		m.Halted = true
 		tr.NextPC = m.PC
@@ -234,6 +292,14 @@ func (m *Machine) Step() (Trace, error) {
 	m.PC = tr.NextPC
 	m.Retired++
 	return tr, nil
+}
+
+// branch records a conditional branch outcome into the trace.
+func (m *Machine) branch(tr *Trace, cond bool) {
+	tr.Taken = cond
+	if cond {
+		tr.NextPC = m.PC + uint64(int64(tr.Inst.Imm))*isa.InstBytes
+	}
 }
 
 func boolToInt(b bool) int64 {
@@ -297,6 +363,31 @@ func (s *Stream) Next() (Trace, bool) {
 		return Trace{}, false
 	}
 	return tr, true
+}
+
+// Fill batch-executes into the caller-owned buffer and returns how many
+// trace records were produced. It stops early at halt, at the stream limit,
+// or on an error (see Err). Fill performs no allocation of its own, so a
+// consumer that reuses its buffer pays zero steady-state allocations for
+// stream delivery.
+func (s *Stream) Fill(buf []Trace) int {
+	n := 0
+	for n < len(buf) {
+		if s.err != nil || s.m.Halted {
+			break
+		}
+		if s.limit > 0 && s.m.Retired >= s.limit {
+			break
+		}
+		tr, err := s.m.Step()
+		if err != nil {
+			s.err = err
+			break
+		}
+		buf[n] = tr
+		n++
+	}
+	return n
 }
 
 // Err reports a stream-terminating execution error, if any.

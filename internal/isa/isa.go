@@ -326,17 +326,45 @@ func (in Instruction) Class() Class { return in.Op.Class() }
 func (in Instruction) HasDest() bool { return in.Rd != RegNone && in.Rd != 0 }
 
 // Sources returns the architected source registers, excluding r0 and unused
-// slots. The result aliases a fixed-size array; callers must not retain it
-// across modifications.
+// slots.
 func (in Instruction) Sources() []Reg {
 	var out []Reg
-	if in.Rs1 != RegNone && in.Rs1 != 0 {
-		out = append(out, in.Rs1)
+	rs1, rs2 := in.SrcRegs()
+	if rs1 != RegNone {
+		out = append(out, rs1)
 	}
-	if in.Rs2 != RegNone && in.Rs2 != 0 {
-		out = append(out, in.Rs2)
+	if rs2 != RegNone {
+		out = append(out, rs2)
 	}
 	return out
+}
+
+// SrcRegs returns the two source-operand slots with RegNone for absent or
+// r0 operands. Unlike Sources it never allocates, so the timing cores use
+// it on their per-instruction paths.
+func (in Instruction) SrcRegs() (rs1, rs2 Reg) {
+	rs1, rs2 = in.Rs1, in.Rs2
+	if rs1 == 0 {
+		rs1 = RegNone
+	}
+	if rs2 == 0 {
+		rs2 = RegNone
+	}
+	return rs1, rs2
+}
+
+// NumSources counts the architected source registers (excluding r0 and
+// unused slots) without allocating.
+func (in Instruction) NumSources() int {
+	n := 0
+	rs1, rs2 := in.SrcRegs()
+	if rs1 != RegNone {
+		n++
+	}
+	if rs2 != RegNone {
+		n++
+	}
+	return n
 }
 
 // IsControl reports whether the instruction can redirect the PC.

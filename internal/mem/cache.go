@@ -92,6 +92,21 @@ func NewCache(cfg CacheConfig) *Cache {
 // Config returns the cache configuration.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
+// CopyStateFrom copies the tag/LRU state and statistics of an
+// identically configured cache into this one. It lets a warmed cache be
+// cloned into a fresh core for the cost of a memcpy instead of replaying
+// the warm access stream. It panics on configuration mismatch (caller bug).
+func (c *Cache) CopyStateFrom(src *Cache) {
+	if c.cfg != src.cfg {
+		panic(fmt.Sprintf("mem: %s: CopyStateFrom with mismatched config", c.cfg.Name))
+	}
+	for i := range c.sets {
+		copy(c.sets[i], src.sets[i])
+	}
+	c.clock = src.clock
+	c.Stats = src.Stats
+}
+
 func (c *Cache) index(addr uint64) (set, tag uint64) {
 	block := addr >> c.lineBits
 	return block & c.setMask, block >> uint(popcount(c.setMask))

@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotCopyOnWriteIsolation(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x1000, 8, 0x1111)
+	m.Write(0x2000, 8, 0x2222)
+	snap := m.Snapshot()
+
+	c1 := snap.NewMemory()
+	c2 := snap.NewMemory()
+
+	// Writes after the snapshot — through the original and a clone — must
+	// not be visible anywhere else.
+	m.Write(0x1000, 8, 0xaaaa)
+	c1.Write(0x1000, 8, 0xbbbb)
+
+	if got := c2.Read(0x1000, 8); got != 0x1111 {
+		t.Fatalf("clone 2 saw foreign write: %#x, want 0x1111", got)
+	}
+	if got := c1.Read(0x1000, 8); got != 0xbbbb {
+		t.Fatalf("clone 1 lost its write: %#x", got)
+	}
+	if got := m.Read(0x1000, 8); got != 0xaaaa {
+		t.Fatalf("original lost its write: %#x", got)
+	}
+	// Untouched pages read through from the shared image everywhere.
+	for i, mm := range []*Memory{m, c1, c2} {
+		if got := mm.Read(0x2000, 8); got != 0x2222 {
+			t.Fatalf("memory %d: shared page read %#x, want 0x2222", i, got)
+		}
+	}
+}
+
+func TestSnapshotOfSnapshotClone(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x100, 8, 1)
+	c := m.Snapshot().NewMemory()
+	c.Write(0x200, 8, 2)
+	// Re-snapshotting a clone must merge shared and private pages.
+	g := c.Snapshot().NewMemory()
+	if g.Read(0x100, 8) != 1 || g.Read(0x200, 8) != 2 {
+		t.Fatal("second-generation snapshot lost pages")
+	}
+}
+
+func TestSnapshotPageCount(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x0000, 8, 1)
+	m.Write(0x1000, 8, 2)
+	snap := m.Snapshot()
+	if snap.PageCount() != 2 {
+		t.Fatalf("snapshot pages = %d, want 2", snap.PageCount())
+	}
+	c := snap.NewMemory()
+	if c.PageCount() != 2 {
+		t.Fatalf("clone pages = %d, want 2 (shared)", c.PageCount())
+	}
+	c.Write(0x1000, 8, 3) // shadows a shared page: no net new page
+	if c.PageCount() != 2 {
+		t.Fatalf("clone pages = %d after shadowing write, want 2", c.PageCount())
+	}
+	c.Write(0x5000, 8, 4) // genuinely new page
+	if c.PageCount() != 3 {
+		t.Fatalf("clone pages = %d after new page, want 3", c.PageCount())
+	}
+}
+
+func TestReadBytesPageWise(t *testing.T) {
+	m := NewMemory()
+	// Pattern crossing a page boundary, with a hole (missing page) after.
+	start := uint64(pageSize - 16)
+	pat := make([]byte, 32)
+	for i := range pat {
+		pat[i] = byte(i + 1)
+	}
+	m.WriteBytes(start, pat)
+
+	if got := m.ReadBytes(start, len(pat)); !bytes.Equal(got, pat) {
+		t.Fatalf("page-crossing ReadBytes = % x, want % x", got, pat)
+	}
+	// Reads covering untouched pages come back zeroed.
+	got := m.ReadBytes(3*pageSize-8, 24)
+	if !bytes.Equal(got, make([]byte, 24)) {
+		t.Fatalf("hole read = % x, want zeros", got)
+	}
+}
+
+func TestReadBytesSeesSharedPages(t *testing.T) {
+	m := NewMemory()
+	pat := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	m.WriteBytes(0x800, pat)
+	c := m.Snapshot().NewMemory()
+	if got := c.ReadBytes(0x800, len(pat)); !bytes.Equal(got, pat) {
+		t.Fatalf("clone ReadBytes = % x, want % x", got, pat)
+	}
+	// After a COW write to the same page, the clone reads its own copy.
+	c.SetByte(0x800, 99)
+	want := append([]byte{99}, pat[1:]...)
+	if got := c.ReadBytes(0x800, len(pat)); !bytes.Equal(got, want) {
+		t.Fatalf("clone ReadBytes after write = % x, want % x", got, want)
+	}
+	if got := m.ReadBytes(0x800, len(pat)); !bytes.Equal(got, pat) {
+		t.Fatalf("original perturbed by clone write: % x", got)
+	}
+}

@@ -60,6 +60,14 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
+// CopyStateFrom copies the cache state (tags, LRU, statistics) of an
+// identically configured hierarchy into this one.
+func (h *Hierarchy) CopyStateFrom(src *Hierarchy) {
+	h.L1I.CopyStateFrom(src.L1I)
+	h.L1D.CopyStateFrom(src.L1D)
+	h.L2.CopyStateFrom(src.L2)
+}
+
 // AccessKind selects the L1 cache used for an access.
 type AccessKind int
 

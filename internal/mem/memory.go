@@ -1,7 +1,7 @@
 // Package mem provides the simulated memory system: a sparse byte-addressable
-// physical memory, set-associative write-back caches with LRU replacement,
-// and the two-level hierarchy (split L1, unified L2, fixed-latency DRAM)
-// used by both timing cores.
+// physical memory with copy-on-write snapshots, set-associative write-back
+// caches with LRU replacement, and the two-level hierarchy (split L1,
+// unified L2, fixed-latency DRAM) used by both timing cores.
 //
 // Latency accounting follows the paper's Table 2: L1 caches have a
 // pipelined two-cycle hit time, the unified L2 costs 10 cycles, and main
@@ -17,8 +17,15 @@ const pageSize = 1 << pageShift
 
 // Memory is a sparse, byte-addressable 64-bit physical memory. The zero
 // value is an empty memory; all bytes read as zero until written.
+//
+// A memory may be backed by an immutable Snapshot: reads fall through to
+// the shared snapshot pages, and the first write to a shared page copies it
+// into the memory's private page table (copy-on-write). Snapshots can
+// therefore be cloned into many concurrently running machines for the cost
+// of a map allocation per clone.
 type Memory struct {
-	pages map[uint64]*[pageSize]byte
+	pages  map[uint64]*[pageSize]byte
+	shared map[uint64]*[pageSize]byte // immutable pages from a Snapshot
 }
 
 // NewMemory returns an empty memory.
@@ -26,11 +33,60 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
 }
 
-func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+// Snapshot is an immutable page image taken from a Memory. It is safe for
+// concurrent use: any number of memories may be cloned from one snapshot
+// and written independently.
+type Snapshot struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// Snapshot freezes the memory's current contents and returns them as an
+// immutable snapshot. The receiver keeps its contents but from now on
+// copies pages on write (its private table is moved into the snapshot), so
+// the snapshot stays valid however the receiver is used afterwards.
+func (m *Memory) Snapshot() *Snapshot {
+	frozen := make(map[uint64]*[pageSize]byte, len(m.pages)+len(m.shared))
+	for k, p := range m.shared {
+		frozen[k] = p
+	}
+	for k, p := range m.pages {
+		frozen[k] = p
+	}
+	m.shared = frozen
+	m.pages = make(map[uint64]*[pageSize]byte)
+	return &Snapshot{pages: frozen}
+}
+
+// NewMemory returns a fresh memory backed by the snapshot: it reads the
+// snapshot's contents and copies pages privately on first write.
+func (s *Snapshot) NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte), shared: s.pages}
+}
+
+// PageCount reports how many pages the snapshot holds.
+func (s *Snapshot) PageCount() int { return len(s.pages) }
+
+// readPage returns the page backing addr for reading: the private copy if
+// one exists, else the shared snapshot page, else nil.
+func (m *Memory) readPage(addr uint64) *[pageSize]byte {
+	key := addr >> pageShift
+	if p := m.pages[key]; p != nil {
+		return p
+	}
+	return m.shared[key]
+}
+
+// page materializes the writable page backing addr, copying the shared
+// snapshot page if one backs the address (the copy-on-write step). Read
+// paths use readPage instead.
+func (m *Memory) page(addr uint64) *[pageSize]byte {
 	key := addr >> pageShift
 	p := m.pages[key]
-	if p == nil && create {
+	if p == nil {
 		p = new([pageSize]byte)
+		if sp := m.shared[key]; sp != nil {
+			*p = *sp
+		}
 		m.pages[key] = p
 	}
 	return p
@@ -38,7 +94,7 @@ func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
 
 // ByteAt returns the byte at addr.
 func (m *Memory) ByteAt(addr uint64) byte {
-	p := m.page(addr, false)
+	p := m.readPage(addr)
 	if p == nil {
 		return 0
 	}
@@ -47,14 +103,14 @@ func (m *Memory) ByteAt(addr uint64) byte {
 
 // SetByte stores one byte at addr.
 func (m *Memory) SetByte(addr uint64, v byte) {
-	m.page(addr, true)[addr&(pageSize-1)] = v
+	m.page(addr)[addr&(pageSize-1)] = v
 }
 
 // Read returns size bytes at addr as a little-endian integer.
 // size must be 1, 2, 4 or 8.
 func (m *Memory) Read(addr uint64, size int) uint64 {
 	off := addr & (pageSize - 1)
-	if p := m.page(addr, false); p != nil && off+uint64(size) <= pageSize {
+	if p := m.readPage(addr); p != nil && off+uint64(size) <= pageSize {
 		switch size {
 		case 1:
 			return uint64(p[off])
@@ -79,7 +135,7 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 func (m *Memory) Write(addr uint64, size int, v uint64) {
 	off := addr & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
-		p := m.page(addr, true)
+		p := m.page(addr)
 		switch size {
 		case 1:
 			p[off] = byte(v)
@@ -103,7 +159,7 @@ func (m *Memory) Write(addr uint64, size int, v uint64) {
 // WriteBytes copies b into memory starting at addr.
 func (m *Memory) WriteBytes(addr uint64, b []byte) {
 	for len(b) > 0 {
-		p := m.page(addr, true)
+		p := m.page(addr)
 		off := addr & (pageSize - 1)
 		n := copy(p[off:], b)
 		b = b[n:]
@@ -111,14 +167,34 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) {
 	}
 }
 
-// ReadBytes copies n bytes starting at addr into a fresh slice.
+// ReadBytes copies n bytes starting at addr into a fresh slice, page-wise.
 func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = m.ByteAt(addr + uint64(i))
+	dst := out
+	for len(dst) > 0 {
+		off := addr & (pageSize - 1)
+		span := pageSize - int(off)
+		if span > len(dst) {
+			span = len(dst)
+		}
+		if p := m.readPage(addr); p != nil {
+			copy(dst[:span], p[off:])
+		}
+		// Missing pages read as zero; out is already zeroed.
+		dst = dst[span:]
+		addr += uint64(span)
 	}
 	return out
 }
 
-// PageCount reports how many 4 KiB pages have been touched (for tests).
-func (m *Memory) PageCount() int { return len(m.pages) }
+// PageCount reports how many 4 KiB pages are reachable (private pages plus
+// snapshot pages not yet shadowed by a private copy).
+func (m *Memory) PageCount() int {
+	n := len(m.pages)
+	for k := range m.shared {
+		if _, shadowed := m.pages[k]; !shadowed {
+			n++
+		}
+	}
+	return n
+}

@@ -19,6 +19,7 @@ type Core struct {
 	sys     *clock.System
 	pred    *branch.Predictor
 	hier    *mem.Hierarchy
+	arena   *pipe.Arena
 	fetcher *pipe.Fetcher
 	front   *clock.Queue[*pipe.DynInst]
 	iw      *pipe.IssueWindow
@@ -40,18 +41,20 @@ type Core struct {
 func New(cfg Config, stream *emu.Stream) *Core {
 	pred := branch.New(cfg.Branch)
 	hier := mem.NewHierarchy(cfg.Mem)
+	arena := pipe.NewArena(pipe.ArenaCapacity(cfg.ROBSize, cfg.FrontQueueCap, cfg.FetchWidth))
 	c := &Core{
 		cfg:     cfg,
 		domain:  clock.NewDomain("core", cfg.PeriodPS, 0),
 		pred:    pred,
 		hier:    hier,
-		fetcher: pipe.NewFetcher(stream, pred, hier, cfg.FetchWidth),
+		arena:   arena,
+		fetcher: pipe.NewFetcher(stream, pred, hier, cfg.FetchWidth, arena),
 		front:   clock.NewQueue[*pipe.DynInst](cfg.FrontQueueCap),
 		iw:      pipe.NewIssueWindow(cfg.IWSize),
 		rob:     pipe.NewROB(cfg.ROBSize),
 		lsq:     pipe.NewLSQ(cfg.LSQSize),
 		fu:      pipe.NewFUPool(cfg.FU),
-		rat:     pipe.NewRAT(),
+		rat:     pipe.NewRAT(arena),
 	}
 	c.sys = clock.NewSystem(c.domain)
 	if cfg.PipelinedWakeupSelect {
@@ -123,7 +126,9 @@ func (c *Core) retire(now int64) {
 			c.pred.Update(head.Trace.PC, head.Inst(), head.Trace.Taken, head.Trace.NextPC)
 		}
 		c.stats.Retired++
-		if head.IsHalt() {
+		halt := head.IsHalt()
+		c.arena.Free(head)
+		if halt {
 			c.halted = true
 			return
 		}
@@ -143,7 +148,7 @@ func (c *Core) issue(now int64) {
 		d.IssuedAt = now
 		lat := int64(c.fu.Latency(d.Class()))
 		c.stats.Issued++
-		c.stats.RegReads += uint64(len(d.Inst().Sources()))
+		c.stats.RegReads += uint64(d.Inst().NumSources())
 
 		switch {
 		case d.IsLoad():

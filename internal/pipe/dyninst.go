@@ -60,9 +60,12 @@ type DynInst struct {
 	Trace emu.Trace
 	State State
 
-	// Src points at the in-flight producers of the register sources
-	// (nil when the operand was architecturally ready at dispatch).
-	Src [2]*DynInst
+	// Src holds generation-checked arena references to the in-flight
+	// producers of the register sources (NoRef when the operand was
+	// architecturally ready at dispatch). A reference that no longer
+	// resolves means the producer retired and its slot was recycled —
+	// i.e. the operand is ready.
+	Src [2]Ref
 
 	FetchedAt    int64
 	DispatchedAt int64
@@ -89,11 +92,28 @@ type DynInst struct {
 	// LID is the logical rename identifier assigned by the Flywheel
 	// two-phase renaming mechanism (per-architected-register pool index).
 	LID [3]uint16 // rd, rs1, rs2 logical ids
+
+	// Arena bookkeeping: the owning arena, the slot index and the slot
+	// generation this occupant was allocated under.
+	arena *Arena
+	slot  uint32
+	gen   uint32
 }
 
-// NewDynInst wraps an oracle trace record.
+// NewDynInst wraps an oracle trace record in a standalone (non-arena)
+// instruction. The timing cores allocate through an Arena instead; this
+// constructor remains for tests and one-off uses.
 func NewDynInst(tr emu.Trace) *DynInst {
 	return &DynInst{Trace: tr, ResultAt: FarFuture, DoneAt: FarFuture, IssueUnit: -1}
+}
+
+// Ref returns the generation-checked reference to this instruction, or
+// NoRef for a standalone (non-arena) instruction.
+func (d *DynInst) Ref() Ref {
+	if d.arena == nil {
+		return NoRef
+	}
+	return makeRef(d.slot, d.gen)
 }
 
 // Seq returns the dynamic sequence number.
@@ -120,9 +140,15 @@ func (d *DynInst) IsHalt() bool { return d.Trace.Inst.Op == isa.HALT }
 // SourcesReadyAt returns the earliest edge at which every register operand
 // is available. extraDelayPS widens the wake-up loop (the pipelined
 // wake-up/select study of Figure 2 passes one back-end period here).
+// Producers whose references no longer resolve have retired; their values
+// are architecturally ready.
 func (d *DynInst) SourcesReadyAt(extraDelayPS int64) int64 {
 	ready := int64(0)
-	for _, src := range d.Src {
+	for _, ref := range d.Src {
+		if ref == NoRef || d.arena == nil {
+			continue
+		}
+		src := d.arena.Get(ref)
 		if src == nil {
 			continue
 		}

@@ -13,6 +13,17 @@ type InstSource interface {
 	Next() (emu.Trace, bool)
 }
 
+// Filler is optionally implemented by instruction sources that can
+// batch-deliver records into a caller-owned buffer (*emu.Stream does). The
+// fetcher uses it to amortize per-record interface calls.
+type Filler interface {
+	Fill(buf []emu.Trace) int
+}
+
+// fetchBatch is the fetcher's trace read-ahead when the source supports
+// batching.
+const fetchBatch = 64
+
 // Fetcher models the instruction fetch stage. It pulls the dynamic
 // instruction stream from the architectural oracle and follows the
 // *predicted* control flow indirectly: fetch proceeds down the correct path,
@@ -29,10 +40,21 @@ type Fetcher struct {
 	pred   *branch.Predictor
 	hier   *mem.Hierarchy
 	width  int
+	arena  *Arena
 
 	pending   *DynInst // lookahead when a group ends on an alignment break
 	blockedOn *DynInst // unresolved mispredicted control instruction
 	done      bool
+
+	// group is the reused FetchGroup result buffer.
+	group []*DynInst
+
+	// Batched delivery (when the source implements Filler): buf[bufPos:
+	// bufLen] holds records read ahead of the pipeline.
+	filler Filler
+	buf    []emu.Trace
+	bufPos int
+	bufLen int
 
 	// Stats
 	Groups      uint64
@@ -40,9 +62,18 @@ type Fetcher struct {
 	Mispredicts uint64
 }
 
-// NewFetcher builds a fetch stage of the given width.
-func NewFetcher(stream InstSource, pred *branch.Predictor, hier *mem.Hierarchy, width int) *Fetcher {
-	return &Fetcher{stream: stream, pred: pred, hier: hier, width: width}
+// NewFetcher builds a fetch stage of the given width, drawing in-flight
+// instruction storage from the arena.
+func NewFetcher(stream InstSource, pred *branch.Predictor, hier *mem.Hierarchy, width int, arena *Arena) *Fetcher {
+	f := &Fetcher{
+		stream: stream, pred: pred, hier: hier, width: width, arena: arena,
+		group: make([]*DynInst, 0, width),
+	}
+	if filler, ok := stream.(Filler); ok {
+		f.filler = filler
+		f.buf = make([]emu.Trace, fetchBatch)
+	}
+	return f
 }
 
 // TakePending removes and returns the lookahead instruction, if any; the
@@ -82,23 +113,37 @@ func (f *Fetcher) next() *DynInst {
 		f.pending = nil
 		return d
 	}
+	if f.filler != nil {
+		if f.bufPos >= f.bufLen {
+			f.bufLen = f.filler.Fill(f.buf)
+			f.bufPos = 0
+			if f.bufLen == 0 {
+				f.done = true
+				return nil
+			}
+		}
+		tr := f.buf[f.bufPos]
+		f.bufPos++
+		return f.arena.Alloc(tr)
+	}
 	tr, ok := f.stream.Next()
 	if !ok {
 		f.done = true
 		return nil
 	}
-	return NewDynInst(tr)
+	return f.arena.Alloc(tr)
 }
 
 // FetchGroup fetches one group. It returns the instructions and the
 // instruction-cache latency in cycles (the core turns that into the
 // fetch-buffer visibility time). It returns a nil group when fetch is
-// blocked or the stream ended.
+// blocked or the stream ended. The returned slice is reused by the next
+// FetchGroup call; callers must consume it before fetching again.
 func (f *Fetcher) FetchGroup(now, periodPS int64) ([]*DynInst, int) {
 	if f.blockedOn != nil || f.Done() {
 		return nil, 0
 	}
-	var group []*DynInst
+	group := f.group[:0]
 	blockID := int64(-1)
 	for len(group) < f.width {
 		d := f.next()
@@ -140,6 +185,7 @@ func (f *Fetcher) FetchGroup(now, periodPS int64) ([]*DynInst, int) {
 			break
 		}
 	}
+	f.group = group
 	if len(group) == 0 {
 		return nil, 0
 	}

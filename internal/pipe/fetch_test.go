@@ -18,7 +18,7 @@ func newFetcher(t *testing.T, src string) (*Fetcher, *branch.Predictor) {
 	m := emu.New(prog)
 	pred := branch.New(branch.DefaultConfig())
 	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1000))
-	return NewFetcher(emu.NewStream(m, 0), pred, hier, 4), pred
+	return NewFetcher(emu.NewStream(m, 0), pred, hier, 4, NewArena(64)), pred
 }
 
 func TestFetcherAlignedGroups(t *testing.T) {

@@ -13,6 +13,7 @@ package pipe
 type IssueWindow struct {
 	entries []iwEntry
 	cap     int
+	picked  []*DynInst // reused Select result buffer
 
 	// ExtraWakeupDelayPS widens the wake-up loop; the pipelined
 	// wake-up/select variant of Figure 2 sets it to one back-end period,
@@ -60,7 +61,8 @@ func (w *IssueWindow) Insert(d *DynInst, visibleAt int64) bool {
 // entries oldest-first, picks up to width instructions whose operands are
 // ready and that pass the extra predicate (the cores use it for load/store
 // ordering) and for which a functional unit is available, removes them from
-// the window and returns them.
+// the window and returns them. The returned slice is reused by the next
+// Select call; callers must consume it before selecting again.
 func (w *IssueWindow) Select(now, periodPS int64, width int, fu *FUPool, extra func(*DynInst) bool) []*DynInst {
 	w.SelectEdges++
 	w.OccupancySum += uint64(len(w.entries))
@@ -68,7 +70,7 @@ func (w *IssueWindow) Select(now, periodPS int64, width int, fu *FUPool, extra f
 		return nil
 	}
 	fu.BeginCycle(now)
-	var picked []*DynInst
+	picked := w.picked[:0]
 	kept := w.entries[:0]
 	for i, e := range w.entries {
 		if len(picked) >= width {
@@ -87,6 +89,7 @@ func (w *IssueWindow) Select(now, periodPS int64, width int, fu *FUPool, extra f
 		}
 	}
 	w.entries = kept
+	w.picked = picked
 	w.Selected += uint64(len(picked))
 	return picked
 }

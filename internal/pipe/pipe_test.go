@@ -7,8 +7,13 @@ import (
 	"flywheel/internal/isa"
 )
 
+// testArena backs the in-flight instructions built by the test helpers, so
+// Src references resolve the way they do inside a core. Tests never free,
+// and the arena grows on demand.
+var testArena = NewArena(64)
+
 func alu(seq uint64, rd, rs1, rs2 int) *DynInst {
-	return NewDynInst(emu.Trace{
+	return testArena.Alloc(emu.Trace{
 		Seq: seq,
 		Inst: isa.Instruction{
 			Op: isa.ADD, Rd: isa.IntReg(rd), Rs1: isa.IntReg(rs1), Rs2: isa.IntReg(rs2),
@@ -17,7 +22,7 @@ func alu(seq uint64, rd, rs1, rs2 int) *DynInst {
 }
 
 func load(seq uint64, rd int, addr uint64) *DynInst {
-	d := NewDynInst(emu.Trace{
+	d := testArena.Alloc(emu.Trace{
 		Seq:  seq,
 		Inst: isa.Instruction{Op: isa.LD, Rd: isa.IntReg(rd), Rs1: isa.IntReg(1), Rs2: isa.RegNone},
 		Addr: addr,
@@ -26,7 +31,7 @@ func load(seq uint64, rd int, addr uint64) *DynInst {
 }
 
 func store(seq uint64, addr uint64) *DynInst {
-	return NewDynInst(emu.Trace{
+	return testArena.Alloc(emu.Trace{
 		Seq:  seq,
 		Inst: isa.Instruction{Op: isa.SD, Rs2: isa.IntReg(2), Rs1: isa.IntReg(1), Rd: isa.RegNone},
 		Addr: addr,
@@ -37,7 +42,7 @@ func TestDynInstSourcesReadyAt(t *testing.T) {
 	p1 := alu(0, 1, 0, 0)
 	p2 := alu(1, 2, 0, 0)
 	d := alu(2, 3, 1, 2)
-	d.Src[0], d.Src[1] = p1, p2
+	d.Src[0], d.Src[1] = p1.Ref(), p2.Ref()
 
 	if got := d.SourcesReadyAt(0); got != FarFuture {
 		t.Errorf("unissued producers: ready at %d, want FarFuture", got)
@@ -50,7 +55,7 @@ func TestDynInstSourcesReadyAt(t *testing.T) {
 	if got := d.SourcesReadyAt(50); got != 350 {
 		t.Errorf("with extra delay: %d, want 350", got)
 	}
-	d.Src[0], d.Src[1] = nil, nil
+	d.Src[0], d.Src[1] = NoRef, NoRef
 	if got := d.SourcesReadyAt(0); got != 0 {
 		t.Errorf("no producers: %d, want 0", got)
 	}
@@ -125,7 +130,7 @@ func TestIssueWindowBackToBack(t *testing.T) {
 
 	prod := alu(0, 1, 0, 0)
 	cons := alu(1, 2, 1, 0)
-	cons.Src[0] = prod
+	cons.Src[0] = prod.Ref()
 	w.Insert(prod, 0)
 	w.Insert(cons, 0)
 
@@ -150,7 +155,7 @@ func TestIssueWindowPipelinedWakeupBreaksBackToBack(t *testing.T) {
 
 	prod := alu(0, 1, 0, 0)
 	cons := alu(1, 2, 1, 0)
-	cons.Src[0] = prod
+	cons.Src[0] = prod.Ref()
 	w.Insert(prod, 0)
 	w.Insert(cons, 0)
 
@@ -320,46 +325,46 @@ func TestLSQRemove(t *testing.T) {
 }
 
 func TestRATLinksDependencies(t *testing.T) {
-	rat := NewRAT()
+	rat := NewRAT(testArena)
 	p := alu(0, 1, 0, 0) // writes r1
 	c := alu(1, 2, 1, 3) // reads r1, r3
 	rat.Link(p)
 	rat.Link(c)
-	if c.Src[0] != p {
+	if c.Src[0] != p.Ref() {
 		t.Error("consumer not linked to producer")
 	}
-	if c.Src[1] != nil {
+	if c.Src[1] != NoRef {
 		t.Error("unwritten register linked to a producer")
 	}
 	// A third instruction reading r2 links to c.
 	d := alu(2, 4, 2, 0)
 	rat.Link(d)
-	if d.Src[0] != c {
+	if d.Src[0] != c.Ref() {
 		t.Error("chain not linked")
 	}
 }
 
 func TestRATRetireClears(t *testing.T) {
-	rat := NewRAT()
+	rat := NewRAT(testArena)
 	p := alu(0, 1, 0, 0)
 	rat.Link(p)
 	p.State = StateRetired
 	rat.Retire(p)
 	c := alu(1, 2, 1, 0)
 	rat.Link(c)
-	if c.Src[0] != nil {
+	if c.Src[0] != NoRef {
 		t.Error("retired producer still linked")
 	}
 }
 
 func TestRATIgnoresRetiredProducers(t *testing.T) {
-	rat := NewRAT()
+	rat := NewRAT(testArena)
 	p := alu(0, 1, 0, 0)
 	rat.Link(p)
 	p.State = StateRetired // retired but not yet cleared from the table
 	c := alu(1, 2, 1, 0)
 	rat.Link(c)
-	if c.Src[0] != nil {
+	if c.Src[0] != NoRef {
 		t.Error("linked to a retired producer")
 	}
 }

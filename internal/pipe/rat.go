@@ -9,41 +9,68 @@ import (
 // architected register. (The baseline core models MIPS R10000-style
 // renaming; the Flywheel core adds its two-phase scheme on top in package
 // core, but dependency linking works the same way.)
+//
+// Producers are held as generation-checked arena references, never as
+// pointers: when a producer retires and its arena slot is recycled, its
+// reference silently stops resolving, which reads as "architecturally
+// ready" — no eager invalidation walk is needed.
 type RAT struct {
-	last [isa.NumArchRegs]*DynInst
+	arena *Arena
+	last  [isa.NumArchRegs]Ref
 }
 
-// NewRAT returns an empty alias table.
-func NewRAT() *RAT { return &RAT{} }
+// NewRAT returns an empty alias table resolving producers in the given
+// arena.
+func NewRAT(arena *Arena) *RAT { return &RAT{arena: arena} }
 
-// Link fills d.Src with pointers to the current producers of its source
+// producer resolves the live, in-flight producer of a register, if any.
+func (t *RAT) producer(r isa.Reg) *DynInst {
+	ref := t.last[r]
+	if ref == NoRef {
+		return nil
+	}
+	p := t.arena.Get(ref)
+	if p == nil || p.State >= StateRetired {
+		return nil
+	}
+	return p
+}
+
+// Link fills d.Src with references to the current producers of its source
 // registers and records d as the new producer of its destination.
 func (t *RAT) Link(d *DynInst) {
 	in := d.Inst()
-	srcs := in.Sources()
-	for i, r := range srcs {
-		if i >= len(d.Src) {
-			break
+	rs1, rs2 := in.SrcRegs()
+	slot := 0
+	if rs1 != isa.RegNone {
+		if p := t.producer(rs1); p != nil {
+			d.Src[slot] = p.Ref()
 		}
-		if p := t.last[r]; p != nil && p.State < StateRetired {
-			d.Src[i] = p
+		slot++
+	}
+	if rs2 != isa.RegNone && slot < len(d.Src) {
+		if p := t.producer(rs2); p != nil {
+			d.Src[slot] = p.Ref()
 		}
 	}
 	if in.HasDest() {
-		t.last[in.Rd] = d
+		t.last[in.Rd] = d.Ref()
 	}
 }
 
-// SourcesReady reports whether every register source of d has its value
-// available at time now, according to the current producer table. Used by
-// the Flywheel replay scoreboard, where instructions are linked at issue.
-func (t *RAT) SourcesReady(d *DynInst, now int64) bool {
-	for _, r := range d.Inst().Sources() {
-		p := t.last[r]
-		if p == nil || p.State == StateRetired {
-			continue
+// SourceRegsReady reports whether the source operands of the given static
+// instruction are available at time now. It needs no in-flight
+// instruction, so the replay path can test issuability before allocating
+// arena slots.
+func (t *RAT) SourceRegsReady(in isa.Instruction, now int64) bool {
+	rs1, rs2 := in.SrcRegs()
+	if rs1 != isa.RegNone {
+		if p := t.producer(rs1); p != nil && p.ResultAt > now {
+			return false
 		}
-		if p.ResultAt > now {
+	}
+	if rs2 != isa.RegNone {
+		if p := t.producer(rs2); p != nil && p.ResultAt > now {
 			return false
 		}
 	}
@@ -51,21 +78,21 @@ func (t *RAT) SourcesReady(d *DynInst, now int64) bool {
 }
 
 // Retire clears the producer entry if d is still the latest writer of its
-// destination (so fully drained machines hold no stale pointers).
+// destination (so fully drained machines hold no stale references).
 func (t *RAT) Retire(d *DynInst) {
 	in := d.Inst()
-	if in.HasDest() && t.last[in.Rd] == d {
-		t.last[in.Rd] = nil
+	if in.HasDest() && t.last[in.Rd] == d.Ref() {
+		t.last[in.Rd] = NoRef
 	}
 }
 
 // Reset clears the table.
 func (t *RAT) Reset() {
 	for i := range t.last {
-		t.last[i] = nil
+		t.last[i] = NoRef
 	}
 }
 
 // Producer returns the current in-flight producer of a register, or nil
 // (diagnostic hook for the replay scoreboard).
-func (t *RAT) Producer(r isa.Reg) *DynInst { return t.last[r] }
+func (t *RAT) Producer(r isa.Reg) *DynInst { return t.producer(r) }

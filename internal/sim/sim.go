@@ -9,13 +9,11 @@ package sim
 import (
 	"fmt"
 
-	"flywheel/internal/asm"
 	"flywheel/internal/cacti"
 	"flywheel/internal/core"
 	"flywheel/internal/emu"
 	"flywheel/internal/mem"
 	"flywheel/internal/ooo"
-	"flywheel/internal/pipe"
 	"flywheel/internal/power"
 	"flywheel/internal/workload"
 )
@@ -104,7 +102,11 @@ func (r Result) Speedup(other Result) float64 {
 	return float64(other.TimePS) / float64(r.TimePS)
 }
 
-// Run executes one simulation.
+// Run executes one simulation. The first run of a workload executes its
+// initialization phase once and caches the result as a copy-on-write warm
+// snapshot; every later run — any architecture, boost, node or instruction
+// budget — clones the snapshot and replays the recorded warm observations
+// instead of re-executing initialization (see snapshot.go).
 func Run(cfg RunConfig) (Result, error) {
 	w, err := workload.Get(cfg.Workload)
 	if err != nil {
@@ -113,10 +115,11 @@ func Run(cfg RunConfig) (Result, error) {
 	if cfg.Node == 0 {
 		cfg.Node = cacti.Node130
 	}
-	m, err := w.NewMachine()
+	ws, err := workloadSnapshot(w)
 	if err != nil {
 		return Result{}, err
 	}
+	m := ws.machine()
 	limit := uint64(0)
 	if cfg.MaxInstructions > 0 {
 		limit = m.Retired + cfg.MaxInstructions
@@ -129,30 +132,16 @@ func Run(cfg RunConfig) (Result, error) {
 		return Result{}, err
 	}
 
-	// Functional warming: replay the skipped initialization phase into the
-	// core's caches and branch predictor so measurement starts from
-	// realistic state (the paper fast-forwards 500M instructions).
-	warm := func(warmer *pipe.Warmer) error {
-		if w.WarmAddr() == 0 {
-			return nil
-		}
-		wm := emu.New(w.Program())
-		for wm.PC != w.WarmAddr() && !wm.Halted {
-			tr, err := wm.Step()
-			if err != nil {
-				return fmt.Errorf("sim warm %s: %w", cfg.Workload, err)
-			}
-			warmer.Observe(tr)
-		}
-		warmer.Finish()
-		return nil
-	}
-
+	// Functional warming: seed the core's caches and branch predictor with
+	// the initialization phase's recorded observations so measurement
+	// starts from realistic state (the paper fast-forwards 500M
+	// instructions).
 	res := Result{Config: cfg}
 	switch cfg.Arch {
 	case ArchBaseline:
-		c := ooo.New(baselineConfig(cfg, period), stream)
-		if err := warm(c.Warmer()); err != nil {
+		bc := baselineConfig(cfg, period)
+		c := ooo.New(bc, stream)
+		if err := ws.warm(c.Warmer(), w, bc.Mem, bc.Branch); err != nil {
 			return Result{}, err
 		}
 		stats, err := c.Run()
@@ -171,8 +160,9 @@ func Run(cfg RunConfig) (Result, error) {
 		res.LeakageFrac = rep.LeakageFrac
 		res.Baseline = &stats
 	case ArchFlywheel, ArchRegAlloc:
-		c := core.New(flywheelConfig(cfg, period), stream)
-		if err := warm(c.Warmer()); err != nil {
+		fc := flywheelConfig(cfg, period)
+		c := core.New(fc, stream)
+		if err := ws.warm(c.Warmer(), w, fc.Mem, fc.Branch); err != nil {
 			return Result{}, err
 		}
 		stats, err := c.Run()
@@ -249,16 +239,18 @@ func baselineActivity(s ooo.Stats) power.Activity {
 
 // RunSource assembles the given program text and runs it like Run does for
 // a registered workload (no warm-up: the whole program is measured). The
-// Workload field of cfg is used only for labeling.
+// Workload field of cfg is used only for labeling. Assembly and image
+// loading are cached per (name, source) pair; each run clones the cached
+// snapshot copy-on-write.
 func RunSource(name, source string, cfg RunConfig) (Result, error) {
-	prog, err := asm.Assemble(name, source)
+	ws, err := sourceSnapshot(name, source)
 	if err != nil {
 		return Result{}, err
 	}
 	if cfg.Node == 0 {
 		cfg.Node = cacti.Node130
 	}
-	m := emu.New(prog)
+	m := ws.machine()
 	limit := cfg.MaxInstructions
 	stream := emu.NewStream(m, limit)
 	period := cacti.BaselinePeriodPS(cfg.Node)

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/branch"
+	"flywheel/internal/emu"
+	"flywheel/internal/mem"
+	"flywheel/internal/pipe"
+	"flywheel/internal/workload"
+)
+
+// The warm-snapshot cache makes per-run setup O(1) after the first run of a
+// workload. Previously every simulation executed a workload's
+// initialization phase twice on a functional emulator — once in
+// workload.NewMachine to fast-forward the measured machine and once more in
+// the warm() replay that seeds the caches and branch predictor — for every
+// grid point of every sweep. Now the first run executes initialization
+// once, recording the warm observations and capturing the architectural
+// state as a copy-on-write snapshot; every later run clones the snapshot
+// (an O(pages-touched-later) copy-on-write clone) and replays the recorded
+// observations into its own warmer, never touching the functional
+// initialization path again.
+
+// warmSnapshot is the cached one-time work for a workload.
+type warmSnapshot struct {
+	snap *emu.Snapshot
+	// log holds the recorded warm observations; nil when the
+	// initialization phase was too long to record (see
+	// pipe.MaxWarmLogRecords), in which case runs fall back to functional
+	// re-execution for warming.
+	log *pipe.WarmLog
+}
+
+// snapEntry is one cache slot, built at most once.
+type snapEntry struct {
+	once sync.Once
+	ws   *warmSnapshot
+	err  error
+}
+
+var (
+	snapCache  sync.Map // cache key (string) -> *snapEntry
+	snapHits   atomic.Uint64
+	snapMisses atomic.Uint64
+)
+
+// SnapshotCacheStats reports how many simulation setups were served from
+// the warm-snapshot cache (hits) versus built by executing a workload's
+// initialization phase (misses).
+func SnapshotCacheStats() (hits, misses uint64) {
+	return snapHits.Load(), snapMisses.Load()
+}
+
+// ResetSnapshotCache drops every cached snapshot and zeroes the hit/miss
+// counters (for tests and benchmarks that measure cold-start behaviour).
+// The per-workload init execution itself (workload.WarmState) is once per
+// process and is not re-run after a reset; a post-reset miss rebuilds the
+// cache entry from the workload's frozen state.
+func ResetSnapshotCache() {
+	snapCache.Range(func(k, _ any) bool {
+		snapCache.Delete(k)
+		return true
+	})
+	snapHits.Store(0)
+	snapMisses.Store(0)
+	sourceSnapCount.Store(0)
+	resetWarmStates()
+}
+
+// cachedSnapshot returns the entry for key, building it at most once via
+// build; concurrent callers for the same key share one execution
+// (singleflight) and every subsequent call is a cache hit.
+func cachedSnapshot(key string, build func() (*warmSnapshot, error)) (*warmSnapshot, error) {
+	e, _ := snapCache.LoadOrStore(key, &snapEntry{})
+	entry := e.(*snapEntry)
+	built := false
+	entry.once.Do(func() {
+		built = true
+		snapMisses.Add(1)
+		entry.ws, entry.err = build()
+	})
+	if !built {
+		snapHits.Add(1)
+	}
+	if entry.err != nil {
+		return nil, entry.err
+	}
+	return entry.ws, nil
+}
+
+// workloadSnapshot builds or fetches the warm snapshot of a registered
+// workload. The one-time init execution lives in workload.WarmState (shared
+// with Workload.NewMachine, so mixed NewMachine/sim.Run callers never
+// fast-forward twice); this cache layer only adds the hit/miss accounting.
+// The registry guarantees a name maps to one source text for the life of
+// the process, so the name is a sound cache key.
+func workloadSnapshot(w *workload.Workload) (*warmSnapshot, error) {
+	return cachedSnapshot("workload\x00"+w.Name, func() (*warmSnapshot, error) {
+		snap, log, err := w.WarmState()
+		if err != nil {
+			return nil, err
+		}
+		return &warmSnapshot{snap: snap, log: log}, nil
+	})
+}
+
+// maxSourceSnapshots bounds how many distinct ad-hoc programs the source
+// cache retains. A caller streaming unique programs (a fuzzer, a sweep over
+// generated kernels not registered as workloads) would otherwise grow the
+// cache — each entry pins the source text, the assembled program and its
+// frozen pages — without bound. Past the cap the source-keyed entries are
+// dropped wholesale (registered workloads are unaffected), trading one
+// re-assembly per dropped program for bounded memory.
+const maxSourceSnapshots = 1024
+
+// sourceSnapCount approximately tracks live source-keyed entries; racing
+// inserts may overshoot the cap by a few entries, which is harmless.
+var sourceSnapCount atomic.Int64
+
+// sourceSnapshot builds or fetches the load-image snapshot of an ad-hoc
+// program (RunSource): assembly and code-image encoding happen once per
+// distinct (name, source) pair, and each run starts from a copy-on-write
+// clone. Ad-hoc programs have no warm-up phase, so the log stays empty.
+func sourceSnapshot(name, source string) (*warmSnapshot, error) {
+	key := "source\x00" + name + "\x00" + source
+	if _, ok := snapCache.Load(key); !ok && sourceSnapCount.Load() >= maxSourceSnapshots {
+		snapCache.Range(func(k, _ any) bool {
+			if ks := k.(string); strings.HasPrefix(ks, "source\x00") {
+				snapCache.Delete(k)
+			}
+			return true
+		})
+		sourceSnapCount.Store(0)
+	}
+	return cachedSnapshot(key, func() (*warmSnapshot, error) {
+		sourceSnapCount.Add(1)
+		prog, err := asm.Assemble(name, source)
+		if err != nil {
+			return nil, err
+		}
+		return &warmSnapshot{snap: emu.New(prog).Snapshot(), log: &pipe.WarmLog{}}, nil
+	})
+}
+
+// machine clones a runnable functional machine from the snapshot.
+func (ws *warmSnapshot) machine() *emu.Machine { return ws.snap.NewMachine() }
+
+// warmState is a fully warmed predictor + cache hierarchy, built once per
+// (workload, hierarchy config, predictor config) by replaying the recorded
+// warm log, then copied into each run's core as a pair of memcpys.
+type warmState struct {
+	pred *branch.Predictor
+	hier *mem.Hierarchy
+}
+
+type warmStateKey struct {
+	workload string
+	hier     mem.HierarchyConfig
+	branch   branch.Config
+}
+
+type warmStateEntry struct {
+	once sync.Once
+	st   *warmState
+}
+
+var warmStates sync.Map // warmStateKey -> *warmStateEntry
+
+// resetWarmStates drops the warmed-state templates (paired with
+// ResetSnapshotCache).
+func resetWarmStates() {
+	warmStates.Range(func(k, _ any) bool {
+		warmStates.Delete(k)
+		return true
+	})
+}
+
+// template returns the warmed predictor/hierarchy template for the given
+// configuration, replaying the log at most once per configuration.
+func (ws *warmSnapshot) template(w *workload.Workload, hierCfg mem.HierarchyConfig, branchCfg branch.Config) *warmState {
+	key := warmStateKey{workload: w.Name, hier: hierCfg, branch: branchCfg}
+	e, _ := warmStates.LoadOrStore(key, &warmStateEntry{})
+	entry := e.(*warmStateEntry)
+	entry.once.Do(func() {
+		st := &warmState{pred: branch.New(branchCfg), hier: mem.NewHierarchy(hierCfg)}
+		ws.log.Replay(pipe.NewWarmer(st.pred, st.hier))
+		entry.st = st
+	})
+	return entry.st
+}
+
+// warm seeds a core's caches and branch predictor with the workload's
+// initialization-phase observations: a state copy from the warmed template
+// when the log was recorded, or a functional re-execution fallback (the
+// pre-cache behaviour) when it overflowed.
+func (ws *warmSnapshot) warm(warmer *pipe.Warmer, w *workload.Workload, hierCfg mem.HierarchyConfig, branchCfg branch.Config) error {
+	if w == nil || w.WarmAddr() == 0 {
+		return nil
+	}
+	if ws.log != nil {
+		st := ws.template(w, hierCfg, branchCfg)
+		warmer.SeedFrom(st.pred, st.hier)
+		return nil
+	}
+	wm := emu.New(w.Program())
+	for wm.PC != w.WarmAddr() && !wm.Halted && wm.Retired < workload.WarmUpLimit {
+		tr, err := wm.Step()
+		if err != nil {
+			return fmt.Errorf("sim warm %s: %w", w.Name, err)
+		}
+		warmer.Observe(tr)
+	}
+	warmer.Finish()
+	return nil
+}

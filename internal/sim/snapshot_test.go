@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"flywheel/internal/cacti"
+)
+
+func snapCfg(arch Arch, node cacti.Node) RunConfig {
+	return RunConfig{
+		Workload: "ijpeg", Arch: arch, Node: node,
+		FEBoostPct: 50, BEBoostPct: 50, MaxInstructions: 5_000,
+	}
+}
+
+// TestSnapshotCacheHitCounters asserts the tentpole's O(1)-setup property:
+// the first run of a workload builds its warm snapshot (one miss), and
+// every later run — any architecture or node — is served from the cache
+// with no init-phase re-execution.
+func TestSnapshotCacheHitCounters(t *testing.T) {
+	ResetSnapshotCache()
+	if _, err := Run(snapCfg(ArchBaseline, cacti.Node130)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := SnapshotCacheStats()
+	if misses != 1 {
+		t.Fatalf("first run: misses=%d, want 1", misses)
+	}
+	if hits != 0 {
+		t.Fatalf("first run: hits=%d, want 0", hits)
+	}
+	// Second run: different arch and node, same workload — still a hit.
+	if _, err := Run(snapCfg(ArchFlywheel, cacti.Node90)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(snapCfg(ArchBaseline, cacti.Node130)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = SnapshotCacheStats()
+	if misses != 1 {
+		t.Fatalf("after 3 runs: misses=%d, want 1 (init executed once)", misses)
+	}
+	if hits != 2 {
+		t.Fatalf("after 3 runs: hits=%d, want 2", hits)
+	}
+}
+
+// TestSnapshotCacheDeterminism checks that a cache-served run is
+// numerically identical to a cold run: the snapshot/seed path must not
+// perturb any observable.
+func TestSnapshotCacheDeterminism(t *testing.T) {
+	for _, arch := range []Arch{ArchBaseline, ArchFlywheel, ArchRegAlloc} {
+		ResetSnapshotCache()
+		cold, err := Run(snapCfg(arch, cacti.Node130))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := Run(snapCfg(arch, cacti.Node130))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("%v: cache-served run differs from cold run:\ncold: %+v\nwarm: %+v",
+				arch, cold, warm)
+		}
+	}
+}
+
+// TestRunSourceSnapshotCache checks the ad-hoc-program path: assembly and
+// image loading happen once per distinct source.
+func TestRunSourceSnapshotCache(t *testing.T) {
+	ResetSnapshotCache()
+	src := `
+        li   r1, 64
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`
+	cfg := RunConfig{Arch: ArchBaseline, Node: cacti.Node130}
+	r1, err := RunSource("snaptest", src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSource("snaptest", src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := SnapshotCacheStats()
+	if misses != 1 || hits != 1 {
+		t.Fatalf("RunSource cache: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("cached RunSource differs from cold RunSource")
+	}
+}
+
+// TestRunSteadyStateAllocs is the whole-pipeline allocation regression
+// fence: a cache-served simulation of tens of thousands of instructions
+// must stay in the same few-thousand-allocation band (fixed core setup),
+// nowhere near the ~5 allocations per instruction of the pre-arena design.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	const instructions = 40_000
+	cfg := RunConfig{
+		Workload: "ijpeg", Arch: ArchBaseline, Node: cacti.Node130,
+		MaxInstructions: instructions,
+	}
+	// Prime the snapshot cache so the measurement sees steady state.
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	allocs := after.Mallocs - before.Mallocs
+	perInst := float64(allocs) / float64(res.Retired)
+	t.Logf("run: %d allocs for %d retired (%.4f allocs/inst)", allocs, res.Retired, perInst)
+	// Fixed setup (core structures, arena, result) plus slack; the budget
+	// is ~0.2 allocs/inst where the old hot loop paid ~5.
+	if perInst > 0.2 {
+		t.Fatalf("steady-state allocations regressed: %.3f allocs/inst (%d total), want <= 0.2",
+			perInst, allocs)
+	}
+}

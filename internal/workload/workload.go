@@ -24,7 +24,12 @@ import (
 
 	"flywheel/internal/asm"
 	"flywheel/internal/emu"
+	"flywheel/internal/pipe"
 )
+
+// WarmUpLimit caps how many instructions a workload's initialization phase
+// may execute during the warm fast-forward.
+const WarmUpLimit = 50_000_000
 
 // Workload is one runnable benchmark proxy.
 type Workload struct {
@@ -47,6 +52,14 @@ type Workload struct {
 
 	once sync.Once
 	prog *asm.Program
+
+	// Warm-snapshot cache: the fast-forward to the warm point executes
+	// once per process; later WarmState/NewMachine calls reuse the frozen
+	// state (cloned copy-on-write) and the recorded warm observations.
+	warmOnce sync.Once
+	warmSnap *emu.Snapshot
+	warmLog  *pipe.WarmLog
+	warmErr  error
 }
 
 // WarmAddr returns the address of the measurement-phase entry, or 0 when
@@ -62,15 +75,45 @@ func (w *Workload) WarmAddr() uint64 {
 	return addr
 }
 
-// NewMachine builds a functional machine fast-forwarded to the warm point.
-func (w *Workload) NewMachine() (*emu.Machine, error) {
-	m := emu.New(w.Program())
-	if addr := w.WarmAddr(); addr != 0 {
-		if _, err := m.RunUntil(addr, 50_000_000); err != nil {
-			return nil, fmt.Errorf("workload %s: warm-up: %w", w.Name, err)
+// WarmState executes the initialization phase once per process and returns
+// the frozen architectural state at the warm point plus the recorded warm
+// observations. The log is nil when initialization was too long to record
+// (pipe.MaxWarmLogRecords); callers then fall back to functional
+// re-execution for warming. The snapshot is shared: clone it (NewMachine)
+// rather than mutating it.
+func (w *Workload) WarmState() (*emu.Snapshot, *pipe.WarmLog, error) {
+	w.warmOnce.Do(func() {
+		m := emu.New(w.Program())
+		log := &pipe.WarmLog{}
+		if addr := w.WarmAddr(); addr != 0 {
+			for m.PC != addr && !m.Halted && m.Retired < WarmUpLimit {
+				tr, err := m.Step()
+				if err != nil {
+					w.warmErr = fmt.Errorf("workload %s: warm-up: %w", w.Name, err)
+					return
+				}
+				log.Observe(tr)
+			}
 		}
+		w.warmSnap = m.Snapshot()
+		if !log.Overflowed() {
+			w.warmLog = log
+		}
+	})
+	return w.warmSnap, w.warmLog, w.warmErr
+}
+
+// NewMachine builds a functional machine fast-forwarded to the warm point.
+// The fast-forward runs once per workload (WarmState); subsequent calls
+// clone the frozen state through copy-on-write memory, so per-call cost is
+// O(1) in the initialization length. Clones are independent and may run
+// concurrently.
+func (w *Workload) NewMachine() (*emu.Machine, error) {
+	snap, _, err := w.WarmState()
+	if err != nil {
+		return nil, err
 	}
-	return m, nil
+	return snap.NewMachine(), nil
 }
 
 // Program assembles the kernel (cached, safe for concurrent use — lab
