@@ -26,6 +26,7 @@ import (
 	"flywheel/internal/emu"
 	"flywheel/internal/experiments"
 	"flywheel/internal/lab"
+	"flywheel/internal/lab/store"
 	"flywheel/internal/sim"
 )
 
@@ -43,6 +44,11 @@ type SuiteMetrics struct {
 	TotalMs    float64 `json:"total_ms"`
 	MsPerJob   float64 `json:"ms_per_job"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
+	// DiskHits / SimRuns split the distinct configurations between the
+	// persistent store (-store) and fresh simulation; without -store,
+	// DiskHits is zero.
+	DiskHits uint64 `json:"disk_hits"`
+	SimRuns  uint64 `json:"sim_runs"`
 }
 
 // Report is the emitted document.
@@ -132,26 +138,37 @@ func benchCore(arch sim.Arch, instructions uint64) (Metrics, error) {
 	}, nil
 }
 
-func benchSuite(instructions uint64) (SuiteMetrics, error) {
+func benchSuite(instructions uint64, storeDir string) (SuiteMetrics, error) {
 	jobs := experiments.SuiteJobs(experiments.Options{
 		Instructions: instructions, Node: cacti.Node130,
 	})
+	cache := lab.NewCache()
+	if storeDir != "" {
+		st, err := store.Open(storeDir)
+		if err != nil {
+			return SuiteMetrics{}, err
+		}
+		cache = lab.NewCacheWithStore(st)
+	}
 	workers := runtime.GOMAXPROCS(0)
 	start := time.Now()
-	if _, err := lab.Run(jobs, lab.Options{Workers: workers, Cache: lab.NewCache()}); err != nil {
+	if _, err := lab.Run(jobs, lab.Options{Workers: workers, Cache: cache}); err != nil {
 		return SuiteMetrics{}, err
 	}
 	total := time.Since(start)
+	cs := cache.Stats()
 	return SuiteMetrics{
 		Jobs:       len(jobs),
 		Workers:    workers,
 		TotalMs:    float64(total.Microseconds()) / 1e3,
 		MsPerJob:   float64(total.Microseconds()) / 1e3 / float64(len(jobs)),
 		JobsPerSec: float64(len(jobs)) / total.Seconds(),
+		DiskHits:   cs.DiskHits,
+		SimRuns:    cs.Misses,
 	}, nil
 }
 
-func run(out io.Writer, quick bool, outPath string) error {
+func run(out io.Writer, quick bool, outPath, storeDir string) error {
 	instructions := uint64(40_000)
 	if quick {
 		instructions = 6_000
@@ -181,7 +198,7 @@ func run(out io.Writer, quick bool, outPath string) error {
 		}
 		rep.Cores[name] = m
 	}
-	if rep.Suite, err = benchSuite(instructions); err != nil {
+	if rep.Suite, err = benchSuite(instructions, storeDir); err != nil {
 		return err
 	}
 
@@ -209,11 +226,12 @@ func run(out io.Writer, quick bool, outPath string) error {
 func main() {
 	quick := flag.Bool("quick", false, "reduced instruction budgets (CI smoke)")
 	outPath := flag.String("o", "", `output path; "-" for stdout (default BENCH_<date>.json)`)
+	storeDir := flag.String("store", "", "persistent result-store directory for the suite benchmark")
 	flag.Parse()
 	if *outPath == "" {
 		*outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
 	}
-	if err := run(os.Stdout, *quick, *outPath); err != nil {
+	if err := run(os.Stdout, *quick, *outPath, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

@@ -42,11 +42,34 @@ func TestReportJSONShape(t *testing.T) {
 // TestBenchSuiteTiny drives the suite measurement end to end with a tiny
 // budget.
 func TestBenchSuiteTiny(t *testing.T) {
-	m, err := benchSuite(500)
+	m, err := benchSuite(500, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.Jobs == 0 || m.TotalMs <= 0 || m.JobsPerSec <= 0 {
 		t.Fatalf("implausible suite metrics: %+v", m)
+	}
+	if m.DiskHits != 0 {
+		t.Fatalf("disk hits without a store: %+v", m)
+	}
+}
+
+// TestBenchSuiteWarmStore: the suite over a warm store performs zero
+// simulations — every distinct configuration is a disk hit.
+func TestBenchSuiteWarmStore(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := benchSuite(500, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.SimRuns == 0 || cold.DiskHits != 0 {
+		t.Fatalf("cold pass: %+v, want all sim runs", cold)
+	}
+	warm, err := benchSuite(500, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.SimRuns != 0 || warm.DiskHits != cold.SimRuns {
+		t.Fatalf("warm pass: %+v, want %d disk hits and 0 sim runs", warm, cold.SimRuns)
 	}
 }

@@ -17,6 +17,8 @@ import (
 
 	"flywheel/internal/cacti"
 	"flywheel/internal/experiments"
+	"flywheel/internal/lab"
+	"flywheel/internal/lab/store"
 	"flywheel/internal/stats"
 )
 
@@ -35,6 +37,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		node     = fs.Float64("node", 0.13, "technology node in um for figures 2 and 11-14")
 		parallel = fs.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
 		markdown = fs.Bool("md", false, "emit markdown tables")
+
+		storeDir   = fs.String("store", "", "persistent result-store directory (empty = in-memory only)")
+		storeStats = fs.Bool("storestats", false, "print cache/store statistics to stderr after the run")
 	)
 	fs.Uint64Var(n, "instructions", 300_000, "alias for -n")
 	if err := fs.Parse(args); err != nil {
@@ -42,6 +47,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opt := experiments.Options{Instructions: *n, Node: cacti.Node(*node), Parallel: *parallel}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		opt.Cache = lab.NewCacheWithStore(st)
+	} else if *storeStats {
+		// No persistent tier, but the counters are still wanted: give the
+		// run its own observable in-memory cache.
+		opt.Cache = lab.NewCache()
+	}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
@@ -49,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := emitFigures(opt, want, *markdown, stdout); err != nil {
 		fmt.Fprintln(stderr, "experiments:", err)
 		return 1
+	}
+	if *storeStats && opt.Cache != nil {
+		fmt.Fprintln(stderr, opt.Cache.StatsLine())
 	}
 	return 0
 }

@@ -10,6 +10,8 @@
 //	explore -ilp 1,6 -entropy 0,1 -fe 0,50,100         # 4 profiles, 12 points
 //	explore -ilp 4 -fp 0,0.5 -node 0.13,0.09 -csv      # CSV to stdout
 //	explore -frontier -parallel 8                      # frontier only
+//	explore -store ~/.flywheel-store                   # persist results;
+//	                                                   # a re-run simulates nothing
 package main
 
 import (
@@ -17,67 +19,78 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
-	"flywheel/internal/cacti"
 	"flywheel/internal/explore"
-	"flywheel/internal/sim"
+	"flywheel/internal/lab"
+	"flywheel/internal/lab/store"
 	"flywheel/internal/stats"
-	"flywheel/internal/workload/synth"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// maxGridPoints bounds the enumerated grid so a typo in a list flag fails
-// fast instead of queueing hours of simulation.
-const maxGridPoints = 4096
-
 // run parses the flags and performs the exploration; it is the whole
 // command, factored out of main so tests can drive it.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	def := explore.DefaultAxes()
 	var (
-		ilp     = fs.String("ilp", "1,4,6", "ILP values (independent chains), comma-separated")
-		entropy = fs.String("entropy", "0,1", "branch entropies in [0,1], comma-separated")
-		fpmix   = fs.String("fp", "0", "floating-point mixes in [0,1], comma-separated")
-		mem     = fs.String("mem", "32", "data footprints in KiB, comma-separated")
-		stride  = fs.String("stride", "0.5", "stride fractions in [0,1], comma-separated")
-		reuse   = fs.String("rr", "0", "register-reuse fractions in [0,1], comma-separated")
-		code    = fs.String("code", "4", "code footprints in KiB, comma-separated")
-		seed    = fs.Uint64("seed", 1, "generator seed shared by all profiles")
+		ilp     = fs.String("ilp", def.ILP, "ILP values (independent chains), comma-separated")
+		entropy = fs.String("entropy", def.Entropy, "branch entropies in [0,1], comma-separated")
+		fpmix   = fs.String("fp", def.FPMix, "floating-point mixes in [0,1], comma-separated")
+		mem     = fs.String("mem", def.Mem, "data footprints in KiB, comma-separated")
+		stride  = fs.String("stride", def.Stride, "stride fractions in [0,1], comma-separated")
+		reuse   = fs.String("rr", def.Reuse, "register-reuse fractions in [0,1], comma-separated")
+		code    = fs.String("code", def.Code, "code footprints in KiB, comma-separated")
+		seed    = fs.Uint64("seed", def.Seed, "generator seed shared by all profiles")
 		passes  = fs.Int("passes", 0, "measured passes per kernel (0 = default)")
-		arch    = fs.String("arch", "flywheel", "architectures: baseline, flywheel, regalloc (comma-separated)")
-		fe      = fs.String("fe", "0,50,100", "front-end boost percentages, comma-separated")
-		be      = fs.String("be", "50", "back-end boost percentages, comma-separated")
-		node    = fs.String("node", "0.13", "technology nodes in um: 0.18, 0.13, 0.09, 0.06 (comma-separated)")
-		n       = fs.Uint64("n", 300_000, "measured dynamic instructions per run")
+		arch    = fs.String("arch", def.Arch, "architectures: baseline, flywheel, regalloc (comma-separated)")
+		fe      = fs.String("fe", def.FE, "front-end boost percentages, comma-separated")
+		be      = fs.String("be", def.BE, "back-end boost percentages, comma-separated")
+		node    = fs.String("node", def.Node, "technology nodes in um: 0.18, 0.13, 0.09, 0.06 (comma-separated)")
+		n       = fs.Uint64("n", def.Instructions, "measured dynamic instructions per run")
 		workers = fs.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+
+		storeDir   = fs.String("store", "", "persistent result-store directory (empty = in-memory only)")
+		storeStats = fs.Bool("storestats", false, "print cache/store statistics to stderr after the run")
 
 		frontierOnly = fs.Bool("frontier", false, "print only the Pareto frontier")
 		csvOut       = fs.Bool("csv", false, "emit CSV instead of tables")
 		markdown     = fs.Bool("md", false, "emit markdown tables")
 	)
-	fs.Uint64Var(n, "instructions", 300_000, "alias for -n")
+	fs.Uint64Var(n, "instructions", def.Instructions, "alias for -n")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	space, err := buildSpace(axes{
-		ilp: *ilp, entropy: *entropy, fpmix: *fpmix, mem: *mem,
-		stride: *stride, reuse: *reuse, code: *code, seed: *seed,
-		passes: *passes, arch: *arch, fe: *fe, be: *be, node: *node,
-		instructions: *n,
-	})
+	space, err := explore.Axes{
+		ILP: *ilp, Entropy: *entropy, FPMix: *fpmix, Mem: *mem,
+		Stride: *stride, Reuse: *reuse, Code: *code, Seed: *seed,
+		Passes: *passes, Arch: *arch, FE: *fe, BE: *be, Node: *node,
+		Instructions: *n,
+	}.Space()
 	if err != nil {
 		fmt.Fprintln(stderr, "explore:", err)
 		return 2
 	}
 
-	rep, err := explore.Explore(space, explore.Options{Workers: *workers})
+	opt := explore.Options{Workers: *workers}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "explore:", err)
+			return 1
+		}
+		opt.Cache = lab.NewCacheWithStore(st)
+	} else if *storeStats {
+		// No persistent tier, but the counters are still wanted: give the
+		// run its own observable in-memory cache.
+		opt.Cache = lab.NewCache()
+	}
+
+	rep, err := explore.Explore(space, opt)
 	if err != nil {
 		fmt.Fprintln(stderr, "explore:", err)
 		return 1
@@ -92,6 +105,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		emit(stdout, rep.Table(), *markdown)
 		emit(stdout, rep.FrontierTable(), *markdown)
 	}
+	if *storeStats && opt.Cache != nil {
+		fmt.Fprintln(stderr, opt.Cache.StatsLine())
+	}
 	return 0
 }
 
@@ -101,151 +117,4 @@ func emit(w io.Writer, t *stats.Table, markdown bool) {
 	} else {
 		fmt.Fprintln(w, t.String())
 	}
-}
-
-// axes carries the raw flag values of every grid dimension.
-type axes struct {
-	ilp, entropy, fpmix, mem, stride, reuse, code string
-	seed                                          uint64
-	passes                                        int
-	arch, fe, be, node                            string
-	instructions                                  uint64
-}
-
-// buildSpace cross-products the profile knob lists into the profile axis
-// and assembles the exploration space.
-func buildSpace(a axes) (explore.Space, error) {
-	var sp explore.Space
-	ilps, err := intList("ilp", a.ilp)
-	if err != nil {
-		return sp, err
-	}
-	entropies, err := floatList("entropy", a.entropy)
-	if err != nil {
-		return sp, err
-	}
-	fps, err := floatList("fp", a.fpmix)
-	if err != nil {
-		return sp, err
-	}
-	mems, err := intList("mem", a.mem)
-	if err != nil {
-		return sp, err
-	}
-	strides, err := floatList("stride", a.stride)
-	if err != nil {
-		return sp, err
-	}
-	reuses, err := floatList("rr", a.reuse)
-	if err != nil {
-		return sp, err
-	}
-	codes, err := intList("code", a.code)
-	if err != nil {
-		return sp, err
-	}
-	for _, i := range ilps {
-		for _, e := range entropies {
-			for _, f := range fps {
-				for _, m := range mems {
-					for _, s := range strides {
-						for _, r := range reuses {
-							for _, c := range codes {
-								sp.Profiles = append(sp.Profiles, synth.Profile{
-									ILP: i, BranchEntropy: e, FPMix: f,
-									MemFootprintKB: m, StrideFrac: s, RegReuse: r,
-									CodeFootprintKB: c, Seed: a.seed, Passes: a.passes,
-								})
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-
-	archNames := splitList(a.arch)
-	if len(archNames) == 0 {
-		return sp, fmt.Errorf("-arch is empty")
-	}
-	for _, name := range archNames {
-		switch name {
-		case "baseline":
-			sp.Archs = append(sp.Archs, sim.ArchBaseline)
-		case "flywheel":
-			sp.Archs = append(sp.Archs, sim.ArchFlywheel)
-		case "regalloc":
-			sp.Archs = append(sp.Archs, sim.ArchRegAlloc)
-		default:
-			return sp, fmt.Errorf("unknown architecture %q (want baseline, flywheel or regalloc)", name)
-		}
-	}
-	if sp.FEBoosts, err = intList("fe", a.fe); err != nil {
-		return sp, err
-	}
-	if sp.BEBoosts, err = intList("be", a.be); err != nil {
-		return sp, err
-	}
-	nodeNames := splitList(a.node)
-	if len(nodeNames) == 0 {
-		return sp, fmt.Errorf("-node is empty")
-	}
-	for _, s := range nodeNames {
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return sp, fmt.Errorf("bad node %q", s)
-		}
-		switch nd := cacti.Node(v); nd {
-		case cacti.Node180, cacti.Node130, cacti.Node90, cacti.Node60:
-			sp.Nodes = append(sp.Nodes, nd)
-		default:
-			return sp, fmt.Errorf("unsupported node %v (want 0.18, 0.13, 0.09 or 0.06)", v)
-		}
-	}
-	sp.Instructions = a.instructions
-
-	if size := len(sp.Profiles) * len(sp.Archs) * len(sp.FEBoosts) * len(sp.BEBoosts) * len(sp.Nodes); size > maxGridPoints {
-		return sp, fmt.Errorf("grid has %d points, max %d — trim an axis", size, maxGridPoints)
-	}
-	return sp, nil
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, f := range strings.Split(s, ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			out = append(out, f)
-		}
-	}
-	return out
-}
-
-func intList(name, s string) ([]int, error) {
-	var out []int
-	for _, f := range splitList(s) {
-		v, err := strconv.Atoi(f)
-		if err != nil {
-			return nil, fmt.Errorf("bad -%s value %q", name, f)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("-%s is empty", name)
-	}
-	return out, nil
-}
-
-func floatList(name, s string) ([]float64, error) {
-	var out []float64
-	for _, f := range splitList(s) {
-		v, err := strconv.ParseFloat(f, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad -%s value %q", name, f)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("-%s is empty", name)
-	}
-	return out, nil
 }

@@ -1,0 +1,93 @@
+// Command labd serves the lab as a long-running batch service: a resident
+// process that fronts the two-tier run cache over HTTP, so every client —
+// CLI invocations, curl, other machines — shares one warm memory tier and
+// one persistent store, and each distinct configuration in the paper's
+// cross-product simulates exactly once, ever.
+//
+// Usage:
+//
+//	labd -addr 127.0.0.1:8080 -store ~/.flywheel-store
+//
+//	curl -s localhost:8080/v1/stats
+//	curl -s -X POST localhost:8080/v1/sweep -d '{"jobs":[
+//	  {"Workload":"gcc","Arch":1,"FEBoostPct":50,"BEBoostPct":50,
+//	   "MaxInstructions":300000}]}'
+//	curl -s 'localhost:8080/v1/frontier?ilp=1,6&fe=0,50,100&n=20000'
+//
+// See DESIGN.md for the protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"flywheel/internal/lab"
+	"flywheel/internal/lab/store"
+	"flywheel/internal/labd"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// control lets tests observe the bound address and stop the server; both
+// channels may be nil.
+type control struct {
+	ready chan<- string   // receives the bound address once listening
+	stop  <-chan struct{} // closing it shuts the server down
+}
+
+// run is the whole command, factored out of main so tests can drive it.
+func run(args []string, stdout, stderr io.Writer, ctl *control) int {
+	fs := flag.NewFlagSet("labd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		storeDir = fs.String("store", "", "persistent result-store directory (empty = memory only; results die with the process)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "labd: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	cache := lab.NewCache()
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "labd:", err)
+			return 1
+		}
+		cache = lab.NewCacheWithStore(st)
+		fmt.Fprintf(stdout, "labd: store %s (version %s)\n", st.Dir(), store.Version())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "labd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "labd: listening on %s\n", ln.Addr())
+	if ctl != nil && ctl.ready != nil {
+		ctl.ready <- ln.Addr().String()
+	}
+
+	srv := &http.Server{Handler: labd.NewServer(cache).Handler()}
+	if ctl != nil && ctl.stop != nil {
+		go func() {
+			<-ctl.stop
+			srv.Close()
+		}()
+	}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(stderr, "labd:", err)
+		return 1
+	}
+	return 0
+}

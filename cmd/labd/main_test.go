@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startLabd runs the command against port 0 and returns its base URL and a
+// stopper.
+func startLabd(t *testing.T, extra ...string) string {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	exited := make(chan int, 1)
+	var out, errb bytes.Buffer
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() {
+		exited <- run(args, &out, &errb, &control{ready: ready, stop: stop})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-exited:
+		t.Fatalf("labd exited %d before listening, stderr: %s", code, errb.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("labd never became ready")
+	}
+	t.Cleanup(func() {
+		close(stop)
+		select {
+		case <-exited:
+		case <-time.After(10 * time.Second):
+			t.Error("labd did not shut down")
+		}
+	})
+	return "http://" + addr
+}
+
+func TestServesStats(t *testing.T) {
+	base := startLabd(t, "-store", t.TempDir())
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+}
+
+func TestServesSweep(t *testing.T) {
+	base := startLabd(t)
+	body := `{"jobs":[{"Workload":"ijpeg","Arch":0,"MaxInstructions":2000}]}`
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"index":0`) || !strings.Contains(buf.String(), `"result"`) {
+		t.Fatalf("sweep NDJSON lacks the result line: %s", buf.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"stray-positional"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb, nil); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestBadStoreDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	// A file in place of the store directory must fail cleanly.
+	if code := run([]string{"-store", "/dev/null/impossible"}, &out, &errb, nil); code != 1 {
+		t.Errorf("exit %d, want 1 for an unusable store path", code)
+	}
+}
+
+func TestBadListenAddr(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", "256.0.0.1:-1"}, &out, &errb, nil); code != 1 {
+		t.Errorf("exit %d, want 1 for a bad listen address", code)
+	}
+}

@@ -30,6 +30,8 @@ import (
 
 	"flywheel/internal/cacti"
 	"flywheel/internal/lab"
+	"flywheel/internal/lab/store"
+	"flywheel/internal/labd"
 	"flywheel/internal/sim"
 	"flywheel/internal/workload"
 )
@@ -168,18 +170,64 @@ func Run(cfg Config) (Result, error) {
 	return publicResult(res), nil
 }
 
+// Store is a persistent, content-addressed run cache: results are
+// memoized in memory and written through to a directory of versioned JSON
+// entries, so a sweep re-run in a new process — or in another process
+// sharing the directory — simulates each distinct configuration exactly
+// once, ever. Open one Store per process and share it across calls; the
+// in-memory tier then also dedupes within the process.
+type Store struct {
+	cache *lab.Cache
+}
+
+// OpenStore creates (if needed) and opens a result store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{cache: lab.NewCacheWithStore(st)}, nil
+}
+
+// StatsLine renders the store's cache counters (memory hits, disk hits,
+// simulation runs, on-disk size) as one line for logs.
+func (s *Store) StatsLine() string { return s.cache.StatsLine() }
+
+// Client submits runs to a labd batch service (cmd/labd) instead of
+// simulating in-process, sharing that service's warm store with every
+// other client.
+type Client struct {
+	c *labd.Client
+}
+
+// NewClient returns a client for the labd service at baseURL, e.g.
+// "http://127.0.0.1:8080".
+func NewClient(baseURL string) *Client {
+	return &Client{c: labd.NewClient(baseURL)}
+}
+
 // SweepOptions controls the concurrent batch runners RunMany and Sweep.
 type SweepOptions struct {
 	// Workers is the worker-pool size; zero or negative uses GOMAXPROCS.
 	Workers int
 	// Progress, when non-nil, is called after each completed run with the
 	// number finished so far (1..total) and the total. Calls are serialized
-	// but arrive in completion order.
+	// but arrive in completion order. Ignored when Client is set (the
+	// service does not stream progress, only results).
 	Progress func(done, total int)
+	// Store persists results across processes; nil keeps the sweep's
+	// memoization in-memory only.
+	Store *Store
+	// Client, when non-nil, routes the whole batch to a labd service and
+	// takes precedence over Store (the service has its own store).
+	Client *Client
 }
 
 func (o SweepOptions) labOptions() lab.Options {
 	lo := lab.Options{Workers: o.Workers}
+	if o.Store != nil {
+		lo.Cache = o.Store.cache
+	}
 	if o.Progress != nil {
 		lo.Progress = func(done, total int, _ lab.Job) { o.Progress(done, total) }
 	}
@@ -192,9 +240,25 @@ func (o SweepOptions) labOptions() lab.Options {
 // exactly once and share one result. If any run fails, the error of the
 // lowest-indexed failing configuration is returned.
 func RunMany(cfgs []Config, opt SweepOptions) ([]Result, error) {
+	if len(cfgs) == 0 {
+		// Both paths agree on empty input; the service would reject an
+		// empty batch.
+		return []Result{}, nil
+	}
 	jobs := make([]lab.Job, len(cfgs))
 	for i, c := range cfgs {
 		jobs[i] = c.job()
+	}
+	if opt.Client != nil {
+		lines, err := opt.Client.c.Sweep(labd.SweepRequest{Jobs: jobs, Workers: opt.Workers})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, len(lines))
+		for i, line := range lines {
+			out[i] = publicResult(*line.Result)
+		}
+		return out, nil
 	}
 	res, err := lab.Run(jobs, opt.labOptions())
 	if err != nil {

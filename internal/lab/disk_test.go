@@ -1,0 +1,125 @@
+package lab
+
+// Integration tests for the memory-over-disk cache: cross-process reuse
+// (modeled as two caches over one directory), write-through, and the
+// second-run-simulates-nothing contract.
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flywheel/internal/lab/store"
+	"flywheel/internal/sim"
+)
+
+func diskCache(t *testing.T, dir string) *Cache {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCacheWithStore(st)
+}
+
+// TestDiskTierServesSecondProcess: a fresh cache over a warm directory
+// serves every request from disk — zero simulations.
+func TestDiskTierServesSecondProcess(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{
+		{Workload: "a", FEBoostPct: 50},
+		{Workload: "b", FEBoostPct: 50},
+		{Workload: "a", FEBoostPct: 50}, // duplicate
+	}
+
+	var calls atomic.Int64
+	runFn := func(cfg sim.RunConfig) (sim.Result, error) {
+		calls.Add(1)
+		return sim.Result{Config: cfg, TimePS: int64(len(cfg.Workload))}, nil
+	}
+
+	cold := diskCache(t, dir)
+	cold.run = runFn
+	first, err := Run(jobs, Options{Cache: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("cold run simulated %d, want 2 distinct keys", got)
+	}
+	cs := cold.Stats()
+	if cs.Misses != 2 || cs.DiskHits != 0 || cs.Hits != 1 {
+		t.Fatalf("cold stats = %+v, want 2 misses / 0 disk hits / 1 hit", cs)
+	}
+
+	warm := diskCache(t, dir)
+	warm.run = runFn
+	second, err := Run(jobs, Options{Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("warm run re-simulated: %d total calls, want still 2", got)
+	}
+	ws := warm.Stats()
+	if ws.Misses != 0 || ws.DiskHits != 2 || ws.Hits != 1 {
+		t.Fatalf("warm stats = %+v, want 0 misses / 2 disk hits / 1 hit", ws)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("result %d differs across processes:\n cold %+v\n warm %+v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestDiskTierSkipsFailedRuns: errors are not written through — a warm
+// directory holds only successful results.
+func TestDiskTierSkipsFailedRuns(t *testing.T) {
+	dir := t.TempDir()
+	c := diskCache(t, dir)
+	c.run = func(cfg sim.RunConfig) (sim.Result, error) {
+		return sim.Result{}, os.ErrNotExist
+	}
+	if _, err := c.Do(Job{Workload: "w"}); err == nil {
+		t.Fatal("want error")
+	}
+	if n, _ := c.Store().Size(); n != 0 {
+		t.Fatalf("failed run persisted: %d entries", n)
+	}
+}
+
+// TestDiskTierSingleflight: concurrent requests for one cold key perform
+// one disk probe and one simulation, not a thundering herd.
+func TestDiskTierSingleflight(t *testing.T) {
+	c := diskCache(t, t.TempDir())
+	var calls atomic.Int64
+	release := make(chan struct{})
+	c.run = func(cfg sim.RunConfig) (sim.Result, error) {
+		calls.Add(1)
+		<-release
+		return sim.Result{TimePS: 9}, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if res, err := c.Do(Job{Workload: "w"}); err != nil || res.TimePS != 9 {
+				t.Errorf("Do = %+v, %v", res, err)
+			}
+		}()
+	}
+	for c.Stats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("singleflight broke over the disk tier: %d runs, want 1", got)
+	}
+	if st := c.Store().Stats(); st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("store traffic = %+v, want exactly one probe and one write", st)
+	}
+}

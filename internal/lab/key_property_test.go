@@ -19,7 +19,13 @@ import (
 // independently drawn jobs are common enough to exercise both directions
 // of the property.
 func randomJob(rng *rand.Rand) Job {
-	workloads := []string{"gzip", "vpr", "synth/i4-e0.5-m32-s0-f0-r0-c4-p4-x1"}
+	// The pool includes adversarial names: user-registered workloads may
+	// contain the key encoding's own metacharacters ('|', '=', quotes,
+	// backslashes, newlines) and must still never collide.
+	workloads := []string{
+		"gzip", "vpr", "synth/i4-e0.5-m32-s0-f0-r0-c4-p4-x1",
+		"a|arch=1", "a\"|arch=1", "a\\|arch=1", "a\nb", "wl=a",
+	}
 	nodes := []cacti.Node{0, cacti.Node130, cacti.Node90, cacti.Node60}
 	boosts := []int{0, 50, 100}
 	instrs := []uint64{0, 300_000}
@@ -54,6 +60,43 @@ func TestKeyEqualsNormalizedIdentity(t *testing.T) {
 	}
 	if collisions == 0 || distincts == 0 {
 		t.Fatalf("degenerate sample: %d collisions, %d distincts — property not exercised", collisions, distincts)
+	}
+}
+
+// TestKeyAdversarialNamesNeverCollide pins the escaping fix directly:
+// before the workload name was quoted, a registered name embedding the
+// separator syntax (e.g. "a|arch=1") could produce the same key as a
+// different job with a shorter name — serving the wrong cached result.
+// Every pair of jobs below is meaningfully different, so every pair of
+// keys must differ.
+func TestKeyAdversarialNamesNeverCollide(t *testing.T) {
+	names := []string{
+		"a", "a|arch=1", "a|arch=1|node=0.13", "a=b", "wl=a",
+		"a\nb", "a\tb", "a b", `a"b`, `a\b`, `a\"b`, "a|", "|a", "=",
+		"a|fe=50", "a\"|fe=50", "",
+	}
+	jobs := make([]Job, 0, len(names)*2)
+	for _, n := range names {
+		jobs = append(jobs,
+			Job{Workload: n, Arch: sim.ArchFlywheel, FEBoostPct: 50},
+			Job{Workload: n, Arch: sim.ArchFlywheel, FEBoostPct: 50, BEBoostPct: 50})
+	}
+	seen := map[string]Job{}
+	for _, j := range jobs {
+		k := j.Key()
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("distinct jobs collide on key %q:\n  %+v\n  %+v", k, prev, j)
+		}
+		seen[k] = j
+	}
+	// And the encoding must still be one line: the disk store and the labd
+	// protocol treat a key as a single record.
+	for _, j := range jobs {
+		for _, c := range j.Key() {
+			if c == '\n' || c == '\r' {
+				t.Fatalf("key of %+v contains a raw newline: %q", j, j.Key())
+			}
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"flywheel/internal/cacti"
+	"flywheel/internal/lab/store"
 	"flywheel/internal/sim"
 )
 
@@ -47,11 +48,16 @@ func (j Job) normalize() Job {
 
 // Key is the canonical cache identity of the job. Fields that default are
 // normalized first, so a job written with Node left zero and one written
-// with Node130 memoize to the same entry.
+// with Node130 memoize to the same entry. The workload name — the only
+// variable-length, user-controlled field — is Go-quoted, so registered
+// names containing the field separators ('|', '='), quotes, or newlines
+// cannot forge another job's key: strconv.Quote is injective and its
+// output delimits the name unambiguously. The encoding is stable across
+// processes; the on-disk store addresses entries by it.
 func (j Job) Key() string {
 	j = j.normalize()
 	return fmt.Sprintf("wl=%s|arch=%d|node=%s|fe=%d|be=%d|n=%d|fes=%d|pws=%t",
-		j.Workload, j.Arch,
+		strconv.Quote(j.Workload), j.Arch,
 		strconv.FormatFloat(float64(j.Node), 'g', -1, 64),
 		j.FEBoostPct, j.BEBoostPct, j.MaxInstructions,
 		j.ExtraFrontEndStages, j.PipelinedWakeupSelect)
@@ -74,12 +80,30 @@ func (j Job) Config() sim.RunConfig {
 
 // Cache memoizes simulation results by Job.Key. It is safe for concurrent
 // use and deduplicates in-flight work: when two workers ask for the same
-// key at once, one simulates and the other waits for its result.
+// key at once, one simulates and the other waits for its result. A cache
+// opened over a store (NewCacheWithStore) adds a persistent second tier:
+// memory misses consult the disk store before simulating, and fresh
+// results are written through, so the memoization survives process death.
+//
+// Failed runs are never cached beyond their own flight: the waiters that
+// piled onto an in-flight run all receive its error, but the entry is
+// evicted before they are released, so the next request retries — a
+// transient failure (say, a workload registered later) does not poison the
+// key for the process lifetime. A panicking run is converted into an error
+// result with the same eviction semantics; waiters can never deadlock on
+// an abandoned entry.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*entry
-	hits    uint64
-	misses  uint64
+	mu       sync.Mutex
+	entries  map[string]*entry
+	hits     uint64
+	misses   uint64
+	diskHits uint64
+	inflight int
+
+	disk *store.Store
+	// run is the simulation entry point; tests substitute it to inject
+	// failures and panics.
+	run func(sim.RunConfig) (sim.Result, error)
 }
 
 type entry struct {
@@ -88,11 +112,27 @@ type entry struct {
 	err  error
 }
 
-// NewCache returns an empty run cache.
-func NewCache() *Cache { return &Cache{entries: map[string]*entry{}} }
+// NewCache returns an empty in-memory run cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*entry{}, run: sim.Run}
+}
 
-// do returns the memoized result for j, simulating it on first request.
-func (c *Cache) do(j Job) (sim.Result, error) {
+// NewCacheWithStore returns a run cache layered over a persistent store:
+// memory over disk over simulation, with in-flight deduplication intact
+// across all three tiers.
+func NewCacheWithStore(s *store.Store) *Cache {
+	c := NewCache()
+	c.disk = s
+	return c
+}
+
+// Store returns the cache's persistent tier, or nil for a purely
+// in-memory cache.
+func (c *Cache) Store() *store.Store { return c.disk }
+
+// Do returns the memoized result for j, computing it on first request.
+// Concurrent calls with the same key share one computation.
+func (c *Cache) Do(j Job) (sim.Result, error) {
 	key := j.Key()
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -103,28 +143,125 @@ func (c *Cache) do(j Job) (sim.Result, error) {
 	}
 	e := &entry{done: make(chan struct{})}
 	c.entries[key] = e
-	c.misses++
+	c.inflight++
 	c.mu.Unlock()
 
-	e.res, e.err = sim.Run(j.Config())
-	close(e.done)
+	c.fill(e, key, j)
 	return e.res, e.err
 }
 
-// Hits counts requests served from the cache (including waits on in-flight
-// runs). For a job list, Hits+Misses == len(jobs) and Misses == the number
-// of distinct keys, regardless of worker count.
+// fill computes the entry's result — disk tier first, then simulation —
+// and releases the waiters. It is panic-safe: entry.done is closed via
+// defer no matter how the run ends, and a panic inside the simulator
+// becomes an ordinary error result. Error entries (including recovered
+// panics) are evicted before the waiters are released.
+func (c *Cache) fill(e *entry, key string, j Job) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.err = fmt.Errorf("lab: run %s panicked: %v", key, p)
+		}
+		c.mu.Lock()
+		c.inflight--
+		if e.err != nil {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		close(e.done)
+	}()
+
+	if c.disk != nil {
+		if res, ok := c.disk.Get(key); ok {
+			c.mu.Lock()
+			c.diskHits++
+			c.mu.Unlock()
+			e.res = res
+			return
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	e.res, e.err = c.run(j.Config())
+	if e.err == nil && c.disk != nil {
+		// A write-through failure (disk full, permissions) degrades the
+		// store to a smaller cache; the computed result is still good.
+		_ = c.disk.Put(key, e.res)
+	}
+}
+
+// do is the internal spelling kept for the package's call sites.
+func (c *Cache) do(j Job) (sim.Result, error) { return c.Do(j) }
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts requests served from memory, including waits on
+	// in-flight runs. DiskHits counts memory misses served by the
+	// persistent store. Misses counts requests that had to simulate.
+	// For a job list on a fresh in-memory cache,
+	// Hits+DiskHits+Misses == len(jobs) and DiskHits+Misses == the number
+	// of distinct keys, regardless of worker count.
+	Hits     uint64
+	DiskHits uint64
+	Misses   uint64
+	// InFlight is the number of computations currently running; Entries
+	// the number of memoized configurations.
+	InFlight int
+	Entries  int
+}
+
+// Stats returns a consistent snapshot of all counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:     c.hits,
+		DiskHits: c.diskHits,
+		Misses:   c.misses,
+		InFlight: c.inflight,
+		Entries:  len(c.entries),
+	}
+}
+
+// StatsLine renders the cache and store counters as one fixed-shape line,
+// shared by the CLIs' -storestats flags and greppable by CI's warm-store
+// check (the second pass over a warm store must report "0 sim runs").
+func (c *Cache) StatsLine() string {
+	s := c.Stats()
+	total := s.Hits + s.DiskHits + s.Misses
+	diskPct := 0.0
+	if s.DiskHits+s.Misses > 0 {
+		diskPct = 100 * float64(s.DiskHits) / float64(s.DiskHits+s.Misses)
+	}
+	line := fmt.Sprintf("store: %d requests, %d memory hits, %d disk hits, %d sim runs (%.1f%% disk)",
+		total, s.Hits, s.DiskHits, s.Misses, diskPct)
+	if c.disk != nil {
+		entries, bytes := c.disk.Size()
+		line += fmt.Sprintf("; %d entries, %d bytes on disk", entries, bytes)
+	}
+	return line
+}
+
+// Hits counts requests served from memory (including waits on in-flight
+// runs).
 func (c *Cache) Hits() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits
 }
 
-// Misses counts requests that had to simulate.
+// Misses counts requests that had to simulate. Requests served by the
+// persistent store count as DiskHits, not misses.
 func (c *Cache) Misses() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.misses
+}
+
+// DiskHits counts memory misses that were served by the persistent store.
+func (c *Cache) DiskHits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskHits
 }
 
 // Len reports the number of cached configurations.

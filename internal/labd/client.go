@@ -1,0 +1,131 @@
+package labd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client submits batches to a running labd service. Its Sweep mirrors
+// lab.Run's contract: results come back in job order, and if any job
+// failed the error of the lowest-indexed failing job is returned alongside
+// the batch.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Sweeps can simulate for
+	// a long time on a cold store; configure a timeout only via context
+	// or a transport that tolerates streaming.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpc() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Sweep submits jobs and decodes the NDJSON stream. The returned slice is
+// always len(jobs) long and in job order; like lab.Run, a failing job
+// leaves its zero Result in place and the lowest-indexed failure becomes
+// the returned error.
+func (c *Client) Sweep(req SweepRequest) ([]SweepLine, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("labd client: encode request: %w", err)
+	}
+	resp, err := c.httpc().Post(c.BaseURL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("labd client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("labd client: sweep: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	lines := make([]SweepLine, 0, len(req.Jobs))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // results with full stats are large
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line SweepLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("labd client: bad line %d: %w", len(lines), err)
+		}
+		if line.Index != len(lines) {
+			return nil, fmt.Errorf("labd client: line %d arrived out of order (index %d)", len(lines), line.Index)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("labd client: stream: %w", err)
+	}
+	if len(lines) != len(req.Jobs) {
+		return nil, fmt.Errorf("labd client: stream truncated: %d of %d results", len(lines), len(req.Jobs))
+	}
+	for _, line := range lines {
+		if line.Error != "" {
+			return lines, errors.New(line.Error)
+		}
+	}
+	return lines, nil
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats() (StatsReply, error) {
+	var reply StatsReply
+	resp, err := c.httpc().Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return reply, fmt.Errorf("labd client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return reply, fmt.Errorf("labd client: stats: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return reply, fmt.Errorf("labd client: decode stats: %w", err)
+	}
+	return reply, nil
+}
+
+// Frontier runs an explore-style Pareto query; params mirror the explore
+// CLI flags (nil or empty values use the server defaults).
+func (c *Client) Frontier(params map[string]string) (FrontierReply, error) {
+	var reply FrontierReply
+	u := c.BaseURL + "/v1/frontier"
+	if len(params) > 0 {
+		q := url.Values{}
+		for k, v := range params {
+			q.Set(k, v)
+		}
+		u += "?" + q.Encode()
+	}
+	resp, err := c.httpc().Get(u)
+	if err != nil {
+		return reply, fmt.Errorf("labd client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return reply, fmt.Errorf("labd client: frontier: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return reply, fmt.Errorf("labd client: decode frontier: %w", err)
+	}
+	return reply, nil
+}

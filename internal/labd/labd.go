@@ -1,0 +1,293 @@
+// Package labd implements the lab batch service: a long-running HTTP/JSON
+// front for the two-tier run cache. Where each CLI invocation re-simulates
+// from a cold process, a resident labd keeps the memory tier warm and the
+// disk tier open, so the paper's whole cross-product of runs is computed
+// exactly once across every client, forever.
+//
+// Protocol (all under /v1):
+//
+//	POST /v1/sweep     body {"jobs":[Job...], "workers":N}
+//	                   → NDJSON, one line per job IN JOB ORDER:
+//	                     {"index":i,"key":"...","result":{...}} or
+//	                     {"index":i,"key":"...","error":"..."}
+//	                   Lines stream as results complete; duplicate jobs —
+//	                   within the batch, across batches, across clients —
+//	                   simulate once.
+//	GET  /v1/frontier  explore-style Pareto query; parameters mirror the
+//	                   explore CLI flags (ilp, entropy, fp, mem, stride,
+//	                   rr, code, seed, passes, arch, fe, be, node, n).
+//	GET  /v1/stats     cache hit/miss/in-flight counters, store size,
+//	                   uptime and the store version stamp.
+package labd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"flywheel/internal/explore"
+	"flywheel/internal/lab"
+	"flywheel/internal/lab/store"
+	"flywheel/internal/sim"
+)
+
+// MaxBatch bounds one sweep request; bigger job lists should be split by
+// the client (the server's cache makes the split free).
+const MaxBatch = 65536
+
+// SweepRequest is the /v1/sweep body.
+type SweepRequest struct {
+	Jobs []lab.Job `json:"jobs"`
+	// Workers caps this request's simulation concurrency; zero or
+	// negative uses GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SweepLine is one NDJSON response line: the i-th job's result or error.
+type SweepLine struct {
+	Index  int         `json:"index"`
+	Key    string      `json:"key"`
+	Result *sim.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// StoreStats reports the persistent tier in /v1/stats.
+type StoreStats struct {
+	Dir        string `json:"dir"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	BadEntries uint64 `json:"bad_entries"`
+	Puts       uint64 `json:"puts"`
+}
+
+// StatsReply is the /v1/stats body.
+type StatsReply struct {
+	Cache         lab.Stats   `json:"cache"`
+	Store         *StoreStats `json:"store,omitempty"`
+	Version       string      `json:"version"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+}
+
+// FrontierPoint is one Pareto-optimal configuration in /v1/frontier.
+type FrontierPoint struct {
+	Profile     string  `json:"profile"`
+	Arch        string  `json:"arch"`
+	Node        float64 `json:"node"`
+	FEBoostPct  int     `json:"fe_pct"`
+	BEBoostPct  int     `json:"be_pct"`
+	Speedup     float64 `json:"speedup"`
+	EnergyRatio float64 `json:"energy_ratio"`
+	ECResidency float64 `json:"ec_residency"`
+	IPC         float64 `json:"ipc"`
+	TimePS      int64   `json:"time_ps"`
+}
+
+// FrontierReply is the /v1/frontier body.
+type FrontierReply struct {
+	GridPoints int             `json:"grid_points"`
+	Frontier   []FrontierPoint `json:"frontier"`
+}
+
+// Server fronts one shared cache. Every request — sweep or frontier, any
+// client — funnels through the same memory tier and (if present) the same
+// disk store, so results are computed once service-wide.
+type Server struct {
+	cache *lab.Cache
+	start time.Time
+	// sem bounds simulation concurrency service-wide at GOMAXPROCS, so
+	// neither one huge batch nor many concurrent requests can oversubscribe
+	// the machine.
+	sem chan struct{}
+}
+
+// NewServer wraps the cache in a service.
+func NewServer(cache *lab.Cache) *Server {
+	return &Server{
+		cache: cache,
+		start: time.Now(),
+		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/frontier", s.handleFrontier)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// maxSweepBody caps the request body so a pathological payload (few jobs,
+// enormous strings) cannot buffer unbounded memory before MaxBatch applies.
+const maxSweepBody = 64 << 20
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "labd: bad sweep request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		http.Error(w, "labd: empty job list", http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) > MaxBatch {
+		http.Error(w, fmt.Sprintf("labd: %d jobs exceeds the %d-job batch limit", len(req.Jobs), MaxBatch), http.StatusBadRequest)
+		return
+	}
+	// The client's Workers value can only narrow the per-request
+	// concurrency; the server-wide semaphore (GOMAXPROCS) is the hard cap
+	// shared by all requests.
+	workers := req.Workers
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(req.Jobs) {
+		workers = len(req.Jobs)
+	}
+
+	// Fan the batch across a bounded pool through the shared cache; each
+	// job's outcome lands in its own single-slot channel so the writer can
+	// stream strictly in job order while later jobs keep computing.
+	type outcome struct {
+		res sim.Result
+		err error
+	}
+	ready := make([]chan outcome, len(req.Jobs))
+	reqSem := make(chan struct{}, workers)
+	for i := range req.Jobs {
+		ready[i] = make(chan outcome, 1)
+		go func(i int) {
+			reqSem <- struct{}{}
+			defer func() { <-reqSem }()
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+			res, err := s.cache.Do(req.Jobs[i])
+			ready[i] <- outcome{res, err}
+		}(i)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i := range req.Jobs {
+		o := <-ready[i]
+		line := SweepLine{Index: i, Key: req.Jobs[i].Key()}
+		if o.err != nil {
+			line.Error = o.err.Error()
+		} else {
+			line.Result = &o.res
+		}
+		if err := enc.Encode(line); err != nil {
+			return // client went away; the cache keeps the finished work
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	axes := explore.DefaultAxes()
+	q := r.URL.Query()
+	get := func(name string, dst *string) {
+		if v := q.Get(name); v != "" {
+			*dst = v
+		}
+	}
+	get("ilp", &axes.ILP)
+	get("entropy", &axes.Entropy)
+	get("fp", &axes.FPMix)
+	get("mem", &axes.Mem)
+	get("stride", &axes.Stride)
+	get("rr", &axes.Reuse)
+	get("code", &axes.Code)
+	get("arch", &axes.Arch)
+	get("fe", &axes.FE)
+	get("be", &axes.BE)
+	get("node", &axes.Node)
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "labd: bad seed: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		axes.Seed = seed
+	}
+	if v := q.Get("passes"); v != "" {
+		passes, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "labd: bad passes: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		axes.Passes = passes
+	}
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "labd: bad n: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		axes.Instructions = n
+	}
+
+	space, err := axes.Space()
+	if err != nil {
+		http.Error(w, "labd: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := explore.Explore(space, explore.Options{Cache: s.cache})
+	if err != nil {
+		http.Error(w, "labd: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	reply := FrontierReply{GridPoints: len(rep.Points), Frontier: []FrontierPoint{}}
+	for _, p := range rep.Frontier() {
+		reply.Frontier = append(reply.Frontier, FrontierPoint{
+			Profile:     p.Profile.String(),
+			Arch:        p.Arch.String(),
+			Node:        float64(p.Node),
+			FEBoostPct:  p.FEBoost,
+			BEBoostPct:  p.BEBoost,
+			Speedup:     p.Speedup,
+			EnergyRatio: p.EnergyRatio,
+			ECResidency: p.Result.ECResidency,
+			IPC:         p.Result.IPC,
+			TimePS:      p.Result.TimePS,
+		})
+	}
+	writeJSON(w, reply)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	reply := StatsReply{
+		Cache:         s.cache.Stats(),
+		Version:       store.Version(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if st := s.cache.Store(); st != nil {
+		entries, bytes := st.Size()
+		ss := st.Stats()
+		reply.Store = &StoreStats{
+			Dir: st.Dir(), Entries: entries, Bytes: bytes,
+			Hits: ss.Hits, Misses: ss.Misses, BadEntries: ss.BadEntries, Puts: ss.Puts,
+		}
+	}
+	writeJSON(w, reply)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

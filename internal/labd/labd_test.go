@@ -1,0 +1,273 @@
+package labd_test
+
+// End-to-end tests over httptest: the service must return byte-identical
+// results to an in-process lab run, stream NDJSON in job order, dedupe
+// against its shared store, and survive bad requests.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flywheel/internal/cacti"
+	"flywheel/internal/lab"
+	"flywheel/internal/lab/store"
+	"flywheel/internal/labd"
+	"flywheel/internal/sim"
+)
+
+// testJobs is a small batch with a duplicate and cross-arch variety.
+func testJobs() []lab.Job {
+	return []lab.Job{
+		{Workload: "ijpeg", Arch: sim.ArchFlywheel, FEBoostPct: 50, BEBoostPct: 50, MaxInstructions: 2000},
+		{Workload: "ijpeg", Arch: sim.ArchBaseline, MaxInstructions: 2000},
+		{Workload: "gcc", Arch: sim.ArchFlywheel, FEBoostPct: 50, BEBoostPct: 50, MaxInstructions: 2000},
+		{Workload: "ijpeg", Arch: sim.ArchFlywheel, FEBoostPct: 50, BEBoostPct: 50, MaxInstructions: 2000}, // dup of 0
+	}
+}
+
+func startServer(t *testing.T, cache *lab.Cache) (*httptest.Server, *labd.Client) {
+	t.Helper()
+	ts := httptest.NewServer(labd.NewServer(cache).Handler())
+	t.Cleanup(ts.Close)
+	return ts, labd.NewClient(ts.URL)
+}
+
+func TestSweepMatchesInProcess(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, client := startServer(t, lab.NewCacheWithStore(st))
+
+	jobs := testJobs()
+	lines, err := client.Sweep(labd.SweepRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lab.Run(jobs, lab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(jobs) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(jobs))
+	}
+	for i, line := range lines {
+		if line.Index != i {
+			t.Fatalf("line %d has index %d", i, line.Index)
+		}
+		if line.Key != jobs[i].Key() {
+			t.Fatalf("line %d key %q, want %q", i, line.Key, jobs[i].Key())
+		}
+		got, _ := json.Marshal(line.Result)
+		exp, _ := json.Marshal(want[i])
+		if string(got) != string(exp) {
+			t.Fatalf("job %d: service result differs from in-process run:\n service %s\n local   %s", i, got, exp)
+		}
+	}
+}
+
+// TestSweepDedupesAcrossRequests: the second identical batch — as a new
+// HTTP request, like a second CLI invocation — performs zero simulations.
+func TestSweepDedupesAcrossRequests(t *testing.T) {
+	cache := lab.NewCache()
+	_, client := startServer(t, cache)
+
+	jobs := testJobs()
+	if _, err := client.Sweep(labd.SweepRequest{Jobs: jobs}); err != nil {
+		t.Fatal(err)
+	}
+	misses := cache.Misses()
+	if misses != 3 { // 3 distinct keys in testJobs
+		t.Fatalf("first batch simulated %d, want 3 distinct", misses)
+	}
+	if _, err := client.Sweep(labd.SweepRequest{Jobs: jobs}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses() != misses {
+		t.Fatalf("second batch re-simulated: %d total misses", cache.Misses())
+	}
+}
+
+// TestSweepJobError: an unknown workload yields an error line for its
+// index, complete results for the rest, and a client-side error.
+func TestSweepJobError(t *testing.T) {
+	_, client := startServer(t, lab.NewCache())
+	jobs := []lab.Job{
+		{Workload: "ijpeg", Arch: sim.ArchBaseline, MaxInstructions: 2000},
+		{Workload: "no-such-workload", MaxInstructions: 2000},
+	}
+	lines, err := client.Sweep(labd.SweepRequest{Jobs: jobs})
+	if err == nil || !strings.Contains(err.Error(), "no-such-workload") {
+		t.Fatalf("err = %v, want the unknown-workload failure", err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines despite the per-job error, want 2", len(lines))
+	}
+	if lines[0].Error != "" || lines[0].Result == nil {
+		t.Fatalf("healthy job contaminated: %+v", lines[0])
+	}
+	if lines[1].Error == "" || lines[1].Result != nil {
+		t.Fatalf("failing job not reported: %+v", lines[1])
+	}
+}
+
+func TestSweepBadRequests(t *testing.T) {
+	ts, _ := startServer(t, lab.NewCache())
+	for _, body := range []string{
+		``, `{}`, `{"jobs":[]}`, `not json`, `{"jobs":[{}], "bogus": 1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET /v1/sweep succeeded, want method rejection")
+	}
+}
+
+// TestSweepClampsWorkers: an absurd client Workers value must not spawn
+// unbounded concurrency — the request still completes correctly.
+func TestSweepClampsWorkers(t *testing.T) {
+	_, client := startServer(t, lab.NewCache())
+	jobs := testJobs()
+	lines, err := client.Sweep(labd.SweepRequest{Jobs: jobs, Workers: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(jobs) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(jobs))
+	}
+}
+
+func TestSweepRejectsOversizedBody(t *testing.T) {
+	ts, _ := startServer(t, lab.NewCache())
+	// One syntactically valid request whose body exceeds the 64 MiB cap.
+	big := `{"jobs":[{"Workload":"` + strings.Repeat("a", 65<<20) + `"}]}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, client := startServer(t, lab.NewCacheWithStore(st))
+
+	before, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Cache.Misses != 0 || before.Store == nil || before.Store.Entries != 0 {
+		t.Fatalf("fresh service stats: %+v", before)
+	}
+	if before.Version != store.Version() {
+		t.Fatalf("version %q, want %q", before.Version, store.Version())
+	}
+
+	jobs := testJobs()
+	if _, err := client.Sweep(labd.SweepRequest{Jobs: jobs}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cache.Misses != 3 || after.Cache.Hits != 1 {
+		t.Fatalf("post-sweep cache stats: %+v", after.Cache)
+	}
+	if after.Store.Entries != 3 || after.Store.Puts != 3 || after.Store.Bytes <= 0 {
+		t.Fatalf("post-sweep store stats: %+v", after.Store)
+	}
+}
+
+func TestFrontierMatchesInProcessExplore(t *testing.T) {
+	_, client := startServer(t, lab.NewCache())
+	params := map[string]string{
+		"ilp": "1", "entropy": "0", "mem": "4", "code": "1",
+		"passes": "1", "fe": "0,50", "n": "2000",
+	}
+	reply, err := client.Frontier(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.GridPoints != 2 {
+		t.Fatalf("grid points = %d, want 2 (1 profile × 2 FE)", reply.GridPoints)
+	}
+	if len(reply.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for _, p := range reply.Frontier {
+		if p.Speedup <= 0 || p.EnergyRatio <= 0 {
+			t.Fatalf("implausible frontier point: %+v", p)
+		}
+		if p.Arch != "flywheel" {
+			t.Fatalf("unexpected arch %q", p.Arch)
+		}
+	}
+	// Identical query → identical reply, served from the warm cache.
+	again, err := client.Frontier(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(reply)
+	b, _ := json.Marshal(again)
+	if string(a) != string(b) {
+		t.Fatalf("frontier not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestFrontierBadQuery(t *testing.T) {
+	ts, _ := startServer(t, lab.NewCache())
+	for _, q := range []string{"?node=0.42", "?seed=x", "?n=x", "?arch=vliw", "?ilp=abc"} {
+		resp, err := http.Get(ts.URL + "/v1/frontier" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestNodeDefaultNormalizedOverWire: a job arriving with Node 0 memoizes
+// to the same entry as Node130 — key normalization applies server-side.
+func TestNodeDefaultNormalizedOverWire(t *testing.T) {
+	cache := lab.NewCache()
+	_, client := startServer(t, cache)
+	jobs := []lab.Job{
+		{Workload: "ijpeg", Arch: sim.ArchBaseline, MaxInstructions: 2000},
+		{Workload: "ijpeg", Arch: sim.ArchBaseline, Node: cacti.Node130, MaxInstructions: 2000},
+	}
+	lines, err := client.Sweep(labd.SweepRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines[0].Key != lines[1].Key {
+		t.Fatalf("normalized keys differ: %q vs %q", lines[0].Key, lines[1].Key)
+	}
+	if cache.Misses() != 1 {
+		t.Fatalf("defaulted duplicate simulated twice: %d misses", cache.Misses())
+	}
+}

@@ -1,0 +1,13 @@
+package sim
+
+// ModelVersion identifies the semantics of Result: the timing model, the
+// energy model, and the meaning of every counter. Persisted results (the
+// lab's on-disk store) are stamped with it, so bumping this constant
+// invalidates every stored entry at once. Bump it whenever a change makes
+// previously computed results non-comparable — a new energy coefficient, a
+// fixed counter, a pipeline behavior change — even if the Result struct
+// itself is unchanged.
+//
+// Version 3 corresponds to PR 3's energy accounting (replay-issued
+// instructions no longer double-count register reads).
+const ModelVersion = 3

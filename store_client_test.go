@@ -1,0 +1,102 @@
+package flywheel
+
+// Acceptance tests for the persistent store and the labd client at the
+// public API: a sweep run twice against one store directory simulates each
+// distinct configuration exactly once across both "processes" (modeled as
+// two Stores over one directory — separate memory tiers, shared disk), and
+// a sweep routed through a labd service returns results identical to the
+// in-process path.
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flywheel/internal/lab"
+	"flywheel/internal/labd"
+)
+
+var acceptanceBase = Config{Arch: ArchFlywheel, FEBoostPct: 50, BEBoostPct: 50, Instructions: 2000}
+
+func acceptanceSweep(t *testing.T, opt SweepOptions) [][]Result {
+	t.Helper()
+	res, err := Sweep(acceptanceBase, []string{"ijpeg", "gcc"}, []int{0, 50}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSweepStoreColdWarm(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := acceptanceSweep(t, SweepOptions{Store: cold})
+	if !strings.Contains(cold.StatsLine(), "4 sim runs") {
+		t.Fatalf("cold pass: %s, want 4 sim runs (2 benchmarks × 2 boosts)", cold.StatsLine())
+	}
+
+	// "Second process": a fresh Store over the same directory.
+	warm, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := acceptanceSweep(t, SweepOptions{Store: warm})
+	line := warm.StatsLine()
+	if !strings.Contains(line, "0 sim runs") || !strings.Contains(line, "4 disk hits") {
+		t.Fatalf("warm pass simulated: %s, want 4 disk hits and 0 sim runs", line)
+	}
+	for i := range first {
+		for j := range first[i] {
+			if first[i][j] != second[i][j] {
+				t.Fatalf("result [%d][%d] differs cold vs warm:\n %+v\n %+v", i, j, first[i][j], second[i][j])
+			}
+		}
+	}
+}
+
+func TestSweepViaClientMatchesInProcess(t *testing.T) {
+	ts := httptest.NewServer(labd.NewServer(lab.NewCache()).Handler())
+	defer ts.Close()
+
+	local := acceptanceSweep(t, SweepOptions{})
+	remote := acceptanceSweep(t, SweepOptions{Client: NewClient(ts.URL)})
+	if len(remote) != len(local) {
+		t.Fatalf("shape mismatch: %d vs %d benchmarks", len(remote), len(local))
+	}
+	for i := range local {
+		for j := range local[i] {
+			if local[i][j] != remote[i][j] {
+				t.Fatalf("result [%d][%d] differs via labd:\n local  %+v\n remote %+v", i, j, local[i][j], remote[i][j])
+			}
+		}
+	}
+}
+
+// TestRunManyEmptyMatchesAcrossPaths: an empty config list succeeds
+// identically with and without a Client (the service rejects empty
+// batches, so the client path must short-circuit before posting).
+func TestRunManyEmptyMatchesAcrossPaths(t *testing.T) {
+	ts := httptest.NewServer(labd.NewServer(lab.NewCache()).Handler())
+	defer ts.Close()
+	for _, opt := range []SweepOptions{{}, {Client: NewClient(ts.URL)}} {
+		res, err := RunMany(nil, opt)
+		if err != nil || len(res) != 0 {
+			t.Fatalf("empty RunMany (client=%t): res=%v err=%v, want empty success", opt.Client != nil, res, err)
+		}
+	}
+}
+
+func TestRunManyViaClientReportsJobError(t *testing.T) {
+	ts := httptest.NewServer(labd.NewServer(lab.NewCache()).Handler())
+	defer ts.Close()
+	_, err := RunMany([]Config{
+		{Benchmark: "ijpeg", Instructions: 2000},
+		{Benchmark: "no-such-benchmark", Instructions: 2000},
+	}, SweepOptions{Client: NewClient(ts.URL)})
+	if err == nil || !strings.Contains(err.Error(), "no-such-benchmark") {
+		t.Fatalf("err = %v, want the unknown-benchmark failure surfaced through the service", err)
+	}
+}
