@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"flywheel/internal/lab"
 	"flywheel/internal/lab/store"
 	"flywheel/internal/sim"
+	"flywheel/internal/trace"
 )
 
 // Metrics is one measured configuration.
@@ -49,6 +51,12 @@ type SuiteMetrics struct {
 	// DiskHits is zero.
 	DiskHits uint64 `json:"disk_hits"`
 	SimRuns  uint64 `json:"sim_runs"`
+	// Trace-cache traffic during the suite: runs that replayed a recorded
+	// dynamic trace, runs that recorded one, and the resident encoded size
+	// of the recordings afterwards.
+	TraceHits   uint64 `json:"trace_hits"`
+	TraceMisses uint64 `json:"trace_misses"`
+	TraceBytes  int64  `json:"trace_bytes"`
 }
 
 // Report is the emitted document.
@@ -151,24 +159,79 @@ func benchSuite(instructions uint64, storeDir string) (SuiteMetrics, error) {
 		cache = lab.NewCacheWithStore(st)
 	}
 	workers := runtime.GOMAXPROCS(0)
+	before := sim.TraceCacheStats()
 	start := time.Now()
 	if _, err := lab.Run(jobs, lab.Options{Workers: workers, Cache: cache}); err != nil {
 		return SuiteMetrics{}, err
 	}
 	total := time.Since(start)
 	cs := cache.Stats()
+	after := sim.TraceCacheStats()
 	return SuiteMetrics{
-		Jobs:       len(jobs),
-		Workers:    workers,
-		TotalMs:    float64(total.Microseconds()) / 1e3,
-		MsPerJob:   float64(total.Microseconds()) / 1e3 / float64(len(jobs)),
-		JobsPerSec: float64(len(jobs)) / total.Seconds(),
-		DiskHits:   cs.DiskHits,
-		SimRuns:    cs.Misses,
+		Jobs:        len(jobs),
+		Workers:     workers,
+		TotalMs:     float64(total.Microseconds()) / 1e3,
+		MsPerJob:    float64(total.Microseconds()) / 1e3 / float64(len(jobs)),
+		JobsPerSec:  float64(len(jobs)) / total.Seconds(),
+		DiskHits:    cs.DiskHits,
+		SimRuns:     cs.Misses,
+		TraceHits:   after.Hits - before.Hits,
+		TraceMisses: after.Misses - before.Misses,
+		TraceBytes:  after.ResidentBytes,
 	}, nil
 }
 
-func run(out io.Writer, quick bool, outPath, storeDir string) error {
+// loadReport reads a previously emitted BENCH json.
+func loadReport(path string) (Report, error) {
+	var r Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// compare prints per-metric deltas against an old report and returns true
+// when any ns/inst (or suite ms/job) metric regressed by more than
+// maxRegressPct. maxRegressPct <= 0 reports without gating.
+func compare(out io.Writer, oldRep, newRep Report, maxRegressPct float64) (regressed bool) {
+	type row struct {
+		name     string
+		old, new float64
+	}
+	rows := []row{{"emu ns/inst", oldRep.Emu.NsPerInst, newRep.Emu.NsPerInst}}
+	for _, name := range []string{"baseline", "flywheel", "regalloc"} {
+		o, hasOld := oldRep.Cores[name]
+		n, hasNew := newRep.Cores[name]
+		if hasOld && hasNew {
+			rows = append(rows, row{name + " ns/inst", o.NsPerInst, n.NsPerInst})
+		}
+	}
+	rows = append(rows, row{"suite ms/job", oldRep.Suite.MsPerJob, newRep.Suite.MsPerJob})
+
+	fmt.Fprintf(out, "compare against %s (gate: +%.1f%%):\n", oldRep.Date, maxRegressPct)
+	for _, r := range rows {
+		if r.old == 0 {
+			continue
+		}
+		pct := 100 * (r.new - r.old) / r.old
+		mark := ""
+		if maxRegressPct > 0 && pct > maxRegressPct {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(out, "  %-18s %10.2f -> %10.2f  %+7.1f%%%s\n", r.name, r.old, r.new, pct, mark)
+	}
+	if maxRegressPct <= 0 {
+		return false
+	}
+	return regressed
+}
+
+func run(out io.Writer, quick bool, outPath, storeDir string) (Report, error) {
 	instructions := uint64(40_000)
 	if quick {
 		instructions = 6_000
@@ -185,7 +248,7 @@ func run(out io.Writer, quick bool, outPath, storeDir string) error {
 
 	var err error
 	if rep.Emu, err = benchEmu(); err != nil {
-		return err
+		return rep, err
 	}
 	for arch, name := range map[sim.Arch]string{
 		sim.ArchBaseline: "baseline",
@@ -194,25 +257,25 @@ func run(out io.Writer, quick bool, outPath, storeDir string) error {
 	} {
 		m, err := benchCore(arch, instructions)
 		if err != nil {
-			return err
+			return rep, err
 		}
 		rep.Cores[name] = m
 	}
 	if rep.Suite, err = benchSuite(instructions, storeDir); err != nil {
-		return err
+		return rep, err
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return err
+		return rep, err
 	}
 	enc = append(enc, '\n')
 	if outPath == "-" {
 		_, err = out.Write(enc)
-		return err
+		return rep, err
 	}
 	if err := os.WriteFile(outPath, enc, 0o644); err != nil {
-		return err
+		return rep, err
 	}
 	fmt.Fprintf(out, "wrote %s\n", outPath)
 	fmt.Fprintf(out, "emu: %.1f ns/inst (%.1f MIPS)  baseline: %.0f ns/inst (%.2f MIPS, %.3f allocs/inst)  flywheel: %.0f ns/inst (%.2f MIPS, %.3f allocs/inst)  suite: %.0f ms for %d jobs\n",
@@ -220,19 +283,76 @@ func run(out io.Writer, quick bool, outPath, storeDir string) error {
 		rep.Cores["baseline"].NsPerInst, rep.Cores["baseline"].MIPS, rep.Cores["baseline"].AllocsPerInst,
 		rep.Cores["flywheel"].NsPerInst, rep.Cores["flywheel"].MIPS, rep.Cores["flywheel"].AllocsPerInst,
 		rep.Suite.TotalMs, rep.Suite.Jobs)
-	return nil
+	return rep, nil
 }
 
 func main() {
+	// Indirection so deferred profile flushes run before the process exits
+	// (os.Exit inside main would truncate an in-flight CPU profile —
+	// precisely on the regressing run whose profile is wanted).
+	os.Exit(benchMain())
+}
+
+func benchMain() int {
 	quick := flag.Bool("quick", false, "reduced instruction budgets (CI smoke)")
 	outPath := flag.String("o", "", `output path; "-" for stdout (default BENCH_<date>.json)`)
 	storeDir := flag.String("store", "", "persistent result-store directory for the suite benchmark")
+	comparePath := flag.String("compare", "", "previous BENCH json to diff against")
+	maxRegress := flag.Float64("maxregress", 0, "with -compare: exit nonzero when any ns/inst metric regresses more than this percent (0 = report only)")
+	noTrace := flag.Bool("notrace", false, "disable the dynamic-trace cache (A/B the record/replay front end)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
 	if *outPath == "" {
 		*outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
 	}
-	if err := run(os.Stdout, *quick, *outPath, *storeDir); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+	if *noTrace {
+		sim.SetTraceCachePolicy(trace.Policy{Disabled: true})
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep, err := run(os.Stdout, *quick, *outPath, *storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 1
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		f.Close()
+	}
+
+	if *comparePath != "" {
+		oldRep, err := loadReport(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		if compare(os.Stdout, oldRep, rep, *maxRegress) {
+			fmt.Fprintf(os.Stderr, "bench: ns/inst regression beyond %.1f%%\n", *maxRegress)
+			return 2
+		}
+	}
+	return 0
 }

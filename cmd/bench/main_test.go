@@ -2,6 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -36,6 +39,66 @@ func TestReportJSONShape(t *testing.T) {
 		if _, ok := base[key]; !ok {
 			t.Errorf("core metrics missing key %q", key)
 		}
+	}
+	suite := got["suite"].(map[string]any)
+	for _, key := range []string{"trace_hits", "trace_misses", "trace_bytes", "disk_hits", "sim_runs"} {
+		if _, ok := suite[key]; !ok {
+			t.Errorf("suite metrics missing key %q", key)
+		}
+	}
+}
+
+// TestCompareGatesOnRegression pins the -compare contract: deltas print
+// per metric, and only a regression beyond the gate trips the exit.
+func TestCompareGatesOnRegression(t *testing.T) {
+	oldRep := Report{
+		Date:  "old",
+		Emu:   Metrics{NsPerInst: 10},
+		Cores: map[string]Metrics{"baseline": {NsPerInst: 100}, "flywheel": {NsPerInst: 200}},
+		Suite: SuiteMetrics{MsPerJob: 5},
+	}
+	better := Report{
+		Emu:   Metrics{NsPerInst: 9},
+		Cores: map[string]Metrics{"baseline": {NsPerInst: 90}, "flywheel": {NsPerInst: 150}},
+		Suite: SuiteMetrics{MsPerJob: 4},
+	}
+	var buf strings.Builder
+	if compare(&buf, oldRep, better, 10) {
+		t.Fatalf("improvement flagged as regression:\n%s", buf.String())
+	}
+	worse := better
+	worse.Cores = map[string]Metrics{"baseline": {NsPerInst: 150}, "flywheel": {NsPerInst: 150}}
+	buf.Reset()
+	if !compare(&buf, oldRep, worse, 10) {
+		t.Fatalf("50%% baseline regression not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("regression marker missing:\n%s", buf.String())
+	}
+	// Report-only mode never gates.
+	buf.Reset()
+	if compare(&buf, oldRep, worse, 0) {
+		t.Fatal("maxregress 0 must report without gating")
+	}
+}
+
+// TestLoadReportRoundTrip exercises -compare's input path.
+func TestLoadReportRoundTrip(t *testing.T) {
+	rep := Report{Date: "x", Emu: Metrics{NsPerInst: 3}}
+	enc, _ := json.Marshal(rep)
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Emu.NsPerInst != 3 || got.Date != "x" {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	if _, err := loadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
 	}
 }
 

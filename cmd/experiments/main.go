@@ -13,12 +13,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"flywheel/internal/cacti"
 	"flywheel/internal/experiments"
 	"flywheel/internal/lab"
 	"flywheel/internal/lab/store"
+	"flywheel/internal/sim"
 	"flywheel/internal/stats"
 )
 
@@ -54,6 +56,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		opt.Cache = lab.NewCacheWithStore(st)
+		// Persist recorded dynamic traces next to the results: a second
+		// process over this directory replays without re-emulating.
+		sim.SetTraceSpillDir(filepath.Join(*storeDir, "traces"))
 	} else if *storeStats {
 		// No persistent tier, but the counters are still wanted: give the
 		// run its own observable in-memory cache.
@@ -69,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *storeStats && opt.Cache != nil {
 		fmt.Fprintln(stderr, opt.Cache.StatsLine())
+		fmt.Fprintln(stderr, sim.TraceCacheStats())
 	}
 	return 0
 }

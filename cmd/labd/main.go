@@ -24,10 +24,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 
 	"flywheel/internal/lab"
 	"flywheel/internal/lab/store"
 	"flywheel/internal/labd"
+	"flywheel/internal/sim"
 )
 
 func main() {
@@ -65,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer, ctl *control) int {
 			return 1
 		}
 		cache = lab.NewCacheWithStore(st)
+		// Persist recorded dynamic traces next to the results: a restarted
+		// service replays from disk without re-emulating anything.
+		sim.SetTraceSpillDir(filepath.Join(*storeDir, "traces"))
 		fmt.Fprintf(stdout, "labd: store %s (version %s)\n", st.Dir(), store.Version())
 	}
 

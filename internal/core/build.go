@@ -92,14 +92,27 @@ func (c *Core) buildIssue(now int64) {
 	if now < c.redistStallUntil {
 		return
 	}
-	selected := c.iw.Select(now, p, c.cfg.IssueWidth, c.fu, func(d *pipe.DynInst) bool {
-		if d.Seq() >= c.gateSeq && now < c.gateUntil {
-			return false // waiting for the trace-change checkpoint
+	// One load-barrier snapshot serves every waiting load this edge (store
+	// states cannot change inside the select scan); computed lazily so
+	// load-free edges pay nothing.
+	loadBarrier, haveBarrier := uint64(0), false
+	gateActive := now < c.gateUntil
+	selected := c.iw.Select(now, p, c.cfg.IssueWidth, c.fu, func(d *pipe.DynInst) pipe.SelectVerdict {
+		if gateActive && d.Seq() >= c.gateSeq {
+			// Waiting for the trace-change checkpoint; the gate blocks
+			// everything from gateSeq on, so in age order nothing younger
+			// can issue either.
+			return pipe.SelectStop
 		}
 		if d.IsLoad() {
-			return c.lsq.CanIssueLoad(d)
+			if !haveBarrier {
+				loadBarrier, haveBarrier = c.lsq.LoadBarrier(), true
+			}
+			if d.Seq() >= loadBarrier {
+				return pipe.SelectSkip
+			}
 		}
-		return true
+		return pipe.SelectOK
 	})
 	if len(selected) == 0 {
 		return

@@ -93,8 +93,10 @@ type Core struct {
 	stats  Stats
 }
 
-// New builds a Flywheel core around the oracle stream.
-func New(cfg Config, stream *emu.Stream) *Core {
+// New builds a Flywheel core around the oracle source: a live *emu.Stream,
+// a trace-cache recorder or reader (package trace), or anything else
+// honouring the Next/Fill iterator contract.
+func New(cfg Config, stream pipe.InstSource) *Core {
 	pred := branch.New(cfg.Branch)
 	hier := mem.NewHierarchy(cfg.Mem)
 	window := newOracleWindow(stream)

@@ -13,12 +13,53 @@ import (
 // ready and every functional unit is free, so replay naturally slows down
 // when cache behaviour differs from creation time.
 
+// pendingUnit caches the head issue unit's edge-invariant work across
+// stall retries. Finding the unit boundary, pairing slots with oracle
+// records (including the divergence check) and summing structural needs
+// depend only on the buffered slots and the oracle window, none of which
+// change while the unit waits for resources — but the pre-cache issueUnit
+// redid all of it on every back-end edge the unit stalled, which profiling
+// showed was the single hottest path of a sweep. The cache is built the
+// first time the unit's boundary is known and lives until the unit issues
+// or its traceRun is torn down (divergence, trace end).
+type pendingUnit struct {
+	valid bool
+	end   int // unit boundary in buffered
+	// recs are the paired oracle records, aligned with buffered[:end].
+	recs []emu.Trace
+	// memOps, dests and fus are the unit's structural needs, with dests
+	// and fus in ascending register/group order so the stall-check order
+	// (and therefore every stall counter) matches the uncached loop.
+	memOps int
+	dests  []regNeed
+	fus    []groupNeed
+	// dataReadyAt is the earliest edge at which every source operand of
+	// every slot is available, exact because in replay mode every producer
+	// has already issued (units issue in order and execute immediately).
+	// The defensive re-check at issue keeps a wrong bound from ever
+	// changing behavior — it could only cost an extra scan.
+	dataReadyAt int64
+}
+
+type regNeed struct {
+	reg isa.Reg
+	n   int
+}
+
+type groupNeed struct {
+	g pipe.FUGroup
+	n int
+}
+
 // traceRun is the replay state of one trace.
 type traceRun struct {
 	reader   Reader
 	startSeq uint64
 	// buffered holds slots delivered by the fill buffer, in issue order.
 	buffered []Slot
+	// unit caches the head unit's pairing and structural sums between
+	// stalled edges.
+	unit pendingUnit
 	// Single outstanding block read (the data array has one read port;
 	// the two-block fill buffer hides the latency, §3.3).
 	readPending bool
@@ -125,12 +166,11 @@ func (c *Core) prefetchNext(now int64) {
 	}
 }
 
-// issueUnit issues at most one complete issue unit.
-func (c *Core) issueUnit(now, p int64) {
+// formUnit builds the head unit's cache: boundary, oracle pairing and
+// structural sums. It reports whether a complete unit is available; a
+// divergence is handled inside (drain started) and reported as no unit.
+func (c *Core) formUnit(now, p int64) bool {
 	run := c.cur
-	if run == nil || now < run.blockedUntil || len(run.buffered) == 0 {
-		return
-	}
 	// Find the unit boundary. A unit is issuable only when its end is
 	// known: either the next UnitStart is buffered or the trace has no
 	// more blocks (the paper's corner case of units split across blocks
@@ -141,16 +181,17 @@ func (c *Core) issueUnit(now, p int64) {
 	}
 	if end == len(run.buffered) && !run.done() {
 		c.stats.ReplayFillStalls++
-		return
+		return false
 	}
 	unit := run.buffered[:end]
 
 	// Pair slots with oracle records; any PC mismatch means the trace's
 	// recorded path diverged from actual execution. Records are gathered
-	// into a reused scratch buffer — arena slots are only claimed once the
-	// whole unit is known to issue, so a stalled unit costs no allocation
+	// into the unit cache's reused buffer — arena slots are only claimed
+	// once the whole unit issues, so a stalled unit costs no allocation
 	// and no cleanup.
-	recs := c.replayRecs[:0]
+	u := &run.unit
+	recs := u.recs[:0]
 	for _, s := range unit {
 		seq := run.startSeq + uint64(s.SeqOffset)
 		rec, ok := c.window.At(seq)
@@ -158,58 +199,138 @@ func (c *Core) issueUnit(now, p int64) {
 			if debugDivergence != nil {
 				debugDivergence(run, s, rec, ok, c.window.Consumed(seq))
 			}
-			c.replayRecs = recs
+			u.recs = recs
 			c.stats.Divergences++
 			c.startDrain(now + int64(c.cfg.DivergenceDetectCycles)*p)
-			return
+			return false
 		}
 		recs = append(recs, rec)
 	}
-	c.replayRecs = recs
 
-	// Structural checks for the whole unit (atomic issue).
+	// Structural sums for the whole unit (atomic issue). Units are at most
+	// one issue group wide, so the needs are accumulated into short sorted
+	// slices (insertion keeps ascending register/group order, preserving
+	// the probe order — and therefore the stall counters — of the dense
+	// per-register loop this replaces).
 	memOps := 0
-	var destNeed [isa.NumArchRegs]int
-	var fuNeed [pipe.NumFUGroups]int
+	dataReadyAt := int64(0)
+	u.dests = u.dests[:0]
+	u.fus = u.fus[:0]
 	for _, rec := range recs {
 		in := rec.Inst
-		switch in.Class() {
-		case isa.ClassLoad, isa.ClassStore:
+		cl := in.Class()
+		if cl == isa.ClassLoad || cl == isa.ClassStore {
 			memOps++
 		}
 		if in.HasDest() {
-			destNeed[in.Rd]++
+			addRegNeed(&u.dests, in.Rd)
 		}
-		fuNeed[pipe.GroupOf(in.Class())]++
+		addGroupNeed(&u.fus, pipe.GroupOf(cl))
+		// Operand availability bound: in replay mode every older
+		// instruction has issued, so producers' ResultAt are final.
+		rs1, rs2 := in.SrcRegs()
+		if rs1 != isa.RegNone {
+			if pr := c.rat.Producer(rs1); pr != nil && pr.ResultAt > dataReadyAt {
+				dataReadyAt = pr.ResultAt
+			}
+		}
+		if rs2 != isa.RegNone {
+			if pr := c.rat.Producer(rs2); pr != nil && pr.ResultAt > dataReadyAt {
+				dataReadyAt = pr.ResultAt
+			}
+		}
 	}
-	if c.rob.Len()+len(recs) > c.rob.Cap() || c.lsq.Len()+memOps > c.lsq.Cap() {
+	u.valid = true
+	u.end = end
+	u.recs = recs
+	u.memOps = memOps
+	u.dataReadyAt = dataReadyAt
+	return true
+}
+
+// addRegNeed bumps reg's count in the sorted need list.
+func addRegNeed(needs *[]regNeed, reg isa.Reg) {
+	s := *needs
+	at := len(s)
+	for i := range s {
+		if s[i].reg == reg {
+			s[i].n++
+			return
+		}
+		if s[i].reg > reg {
+			at = i
+			break
+		}
+	}
+	s = append(s, regNeed{})
+	copy(s[at+1:], s[at:])
+	s[at] = regNeed{reg, 1}
+	*needs = s
+}
+
+// addGroupNeed bumps g's count in the sorted need list.
+func addGroupNeed(needs *[]groupNeed, g pipe.FUGroup) {
+	s := *needs
+	at := len(s)
+	for i := range s {
+		if s[i].g == g {
+			s[i].n++
+			return
+		}
+		if s[i].g > g {
+			at = i
+			break
+		}
+	}
+	s = append(s, groupNeed{})
+	copy(s[at+1:], s[at:])
+	s[at] = groupNeed{g, 1}
+	*needs = s
+}
+
+// issueUnit issues at most one complete issue unit.
+func (c *Core) issueUnit(now, p int64) {
+	run := c.cur
+	if run == nil || now < run.blockedUntil || len(run.buffered) == 0 {
+		return
+	}
+	if !run.unit.valid && !c.formUnit(now, p) {
+		return
+	}
+	u := &run.unit
+	recs := u.recs
+	if c.rob.Len()+len(recs) > c.rob.Cap() || c.lsq.Len()+u.memOps > c.lsq.Cap() {
 		c.stats.ReplayStallResource++
 		return
 	}
-	for reg, n := range destNeed {
-		if n == 0 {
-			continue
-		}
-		if !c.ren.CanAcquire(isa.Reg(reg), n) {
-			c.ren.NoteStall(isa.Reg(reg))
+	for _, dn := range u.dests {
+		if !c.ren.CanAcquire(dn.reg, dn.n) {
+			c.ren.NoteStall(dn.reg)
 			c.stats.RenameStalls++
 			return
 		}
 	}
 	c.fu.BeginCycle(now)
-	for g, n := range fuNeed {
-		if n > 0 && c.fu.AvailableFor(pipe.FUGroup(g), now) < n {
+	for _, fn := range u.fus {
+		if c.fu.AvailableFor(fn.g, now) < fn.n {
 			c.stats.ReplayStallResource++
 			return
 		}
 	}
 	// Scoreboard: every operand of every slot must be ready (VLIW-style).
+	// The cached bound short-circuits the common stalled edges; at or past
+	// the bound the exact per-slot check still runs (it is cheap once, and
+	// it keeps a stale bound from ever issuing early).
+	if u.dataReadyAt > now {
+		c.stats.ReplayStallData++
+		return
+	}
 	for i, rec := range recs {
 		if !c.rat.SourceRegsReady(rec.Inst, now) {
 			c.stats.ReplayStallData++
 			if debugStall != nil {
 				d := pipe.NewDynInst(rec)
-				d.LID = unit[i].LID
+				d.LID = run.buffered[i].LID
 				debugStall(c, d, now)
 			}
 			return
@@ -220,7 +341,7 @@ func (c *Core) issueUnit(now, p int64) {
 	insts := c.replayInsts[:0]
 	for i, rec := range recs {
 		d := c.arena.Alloc(rec)
-		d.LID = unit[i].LID
+		d.LID = run.buffered[i].LID
 		insts = append(insts, d)
 	}
 	c.replayInsts = insts
@@ -241,7 +362,8 @@ func (c *Core) issueUnit(now, p int64) {
 		c.stats.IssuedReplay++
 		c.stats.UpdateOps++
 	}
-	run.buffered = append(run.buffered[:0], run.buffered[end:]...)
+	run.buffered = append(run.buffered[:0], run.buffered[u.end:]...)
+	u.valid = false
 	c.stats.ReplayUnits++
 	// Forward progress: clear the failed-resume latch.
 	c.lastFailedResume = noFailedResume

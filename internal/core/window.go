@@ -2,6 +2,7 @@ package core
 
 import (
 	"flywheel/internal/emu"
+	"flywheel/internal/pipe"
 )
 
 // oracleWindow buffers the architectural oracle's dynamic instruction
@@ -12,7 +13,12 @@ import (
 // (consumed) records stay consumed and the skipped ones are delivered to
 // the restarted front-end in order.
 type oracleWindow struct {
-	stream   *emu.Stream
+	stream pipe.InstSource
+	// filler batches stream pulls when the source supports it (both
+	// *emu.Stream and the trace cache's recorder/reader do), amortizing
+	// the per-record call overhead of the one-at-a-time pull path.
+	filler   pipe.Filler
+	fbuf     []emu.Trace
 	base     uint64 // sequence number of entries[0]
 	entries  []emu.Trace
 	consumed []bool
@@ -27,8 +33,37 @@ type oracleWindow struct {
 	requeue []emu.Trace
 }
 
-func newOracleWindow(stream *emu.Stream) *oracleWindow {
-	return &oracleWindow{stream: stream}
+func newOracleWindow(stream pipe.InstSource) *oracleWindow {
+	w := &oracleWindow{stream: stream}
+	if f, ok := stream.(pipe.Filler); ok {
+		w.filler = f
+		w.fbuf = make([]emu.Trace, 64)
+	}
+	return w
+}
+
+// pull buffers at least one more record from the stream, batched when the
+// source supports it. Over-pulling only moves records into the window
+// earlier; every consumer reads through the window.
+func (w *oracleWindow) pull() bool {
+	if w.filler != nil {
+		n := w.filler.Fill(w.fbuf)
+		if n == 0 {
+			w.drained = true
+			return false
+		}
+		for _, tr := range w.fbuf[:n] {
+			w.appendRecord(tr)
+		}
+		return true
+	}
+	tr, ok := w.stream.Next()
+	if !ok {
+		w.drained = true
+		return false
+	}
+	w.appendRecord(tr)
+	return true
 }
 
 // appendRecord buffers one stream record. The window is anchored at the
@@ -46,12 +81,9 @@ func (w *oracleWindow) appendRecord(tr emu.Trace) {
 // the stream ends first.
 func (w *oracleWindow) fillTo(seq uint64) bool {
 	for len(w.entries) == 0 || w.base+uint64(len(w.entries)) <= seq {
-		tr, ok := w.stream.Next()
-		if !ok {
-			w.drained = true
+		if !w.pull() {
 			return false
 		}
-		w.appendRecord(tr)
 	}
 	return true
 }
@@ -129,14 +161,13 @@ func (w *oracleWindow) NextUnconsumed() (emu.Trace, bool) {
 			return w.entries[i], true
 		}
 	}
-	// Everything buffered was consumed: pull fresh records.
-	tr, ok := w.stream.Next()
-	if !ok {
-		w.drained = true
+	// Everything buffered was consumed: pull fresh records. A batched pull
+	// may append several; the oldest fresh record is the next to deliver.
+	oldLen := len(w.entries)
+	if !w.pull() {
 		return emu.Trace{}, false
 	}
-	w.appendRecord(tr)
-	return tr, true
+	return w.entries[oldLen], true
 }
 
 // Next implements the pipe.InstSource contract for the front-end fetcher:

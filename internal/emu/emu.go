@@ -83,6 +83,10 @@ func (m *Machine) Snapshot() *Snapshot {
 // taken.
 func (s *Snapshot) Retired() uint64 { return s.retired }
 
+// MemPages reports how many 4 KiB pages the snapshot's frozen memory image
+// holds (for cache byte accounting).
+func (s *Snapshot) MemPages() int { return s.mem.PageCount() }
+
 // NewMachine clones a runnable machine from the snapshot. Clones share
 // memory pages copy-on-write and may run concurrently.
 func (s *Snapshot) NewMachine() *Machine {

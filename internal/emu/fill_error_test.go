@@ -1,0 +1,120 @@
+package emu
+
+import (
+	"testing"
+
+	"flywheel/internal/asm"
+)
+
+// faultProgram executes exactly five instructions and then jumps outside
+// the code section, which makes the sixth Step fail — the smallest
+// reproduction of a mid-stream execution fault.
+const faultProgram = `
+        .text
+        addi r1, r0, 1
+        addi r2, r0, 2
+        addi r3, r0, 3
+        addi r4, r0, 4
+        li   r5, 150994944
+        jalr r0, r5
+`
+
+func faultMachine(t *testing.T) *Machine {
+	t.Helper()
+	prog, err := asm.Assemble("fault.s", faultProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(prog)
+}
+
+// TestFillReturnsPrefixBeforeFault pins the error-path contract of
+// Stream.Fill: a fault in the middle of a batch must deliver the records
+// produced before it, with the error held for Err(), not a short count
+// that silently drops work. The timing cores rely on this to account
+// every retired instruction up to a fault, and the trace recorder relies
+// on it to tape the exact prefix a live run observed.
+func TestFillReturnsPrefixBeforeFault(t *testing.T) {
+	m := faultMachine(t)
+	s := NewStream(m, 0)
+	buf := make([]Trace, 64)
+	n := s.Fill(buf)
+	if n != 6 {
+		t.Fatalf("Fill returned %d records, want the full 6-instruction prefix before the fault", n)
+	}
+	if s.Err() == nil {
+		t.Fatal("Err() must report the fault that ended the stream")
+	}
+	for i, tr := range buf[:n] {
+		if tr.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d: prefix records must be the pre-fault stream", i, tr.Seq)
+		}
+	}
+	// The stream stays terminated: no further records, error sticky.
+	if again := s.Fill(buf); again != 0 {
+		t.Fatalf("Fill after fault returned %d records, want 0", again)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next after fault must report end of stream")
+	}
+	if s.Err() == nil {
+		t.Fatal("Err() must stay set after the fault")
+	}
+}
+
+// TestFillFaultAtBufferBoundary drives the fault onto the exact buffer
+// boundary: when the last record that fits in the buffer is also the last
+// before the fault, Fill must return a full buffer and only the *next*
+// call reports zero with the error set.
+func TestFillFaultAtBufferBoundary(t *testing.T) {
+	m := faultMachine(t)
+	s := NewStream(m, 0)
+	buf := make([]Trace, 6) // exactly the pre-fault prefix
+	if n := s.Fill(buf); n != 6 {
+		t.Fatalf("Fill returned %d, want 6", n)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("fault must not be charged to the full-buffer call: Err() = %v", err)
+	}
+	if n := s.Fill(buf); n != 0 {
+		t.Fatalf("post-boundary Fill returned %d, want 0", n)
+	}
+	if s.Err() == nil {
+		t.Fatal("Err() must report the fault after the boundary call")
+	}
+}
+
+// TestNextMatchesFillOnFaultingStream checks the two delivery paths agree
+// on a faulting stream record for record.
+func TestNextMatchesFillOnFaultingStream(t *testing.T) {
+	sa := NewStream(faultMachine(t), 0)
+	sb := NewStream(faultMachine(t), 0)
+	var viaFill []Trace
+	buf := make([]Trace, 4) // fault lands mid-buffer on the second call
+	for {
+		n := sa.Fill(buf)
+		if n == 0 {
+			break
+		}
+		viaFill = append(viaFill, buf[:n]...)
+	}
+	var viaNext []Trace
+	for {
+		tr, ok := sb.Next()
+		if !ok {
+			break
+		}
+		viaNext = append(viaNext, tr)
+	}
+	if len(viaFill) != len(viaNext) {
+		t.Fatalf("Fill delivered %d records, Next %d", len(viaFill), len(viaNext))
+	}
+	for i := range viaFill {
+		if viaFill[i] != viaNext[i] {
+			t.Fatalf("record %d differs between Fill and Next", i)
+		}
+	}
+	if (sa.Err() == nil) != (sb.Err() == nil) {
+		t.Fatal("Fill and Next paths disagree about the terminating error")
+	}
+}

@@ -285,8 +285,23 @@ func (op Op) Info() Info {
 	return opInfo[op]
 }
 
+// opClasses is the class column of opInfo, split out so the timing cores'
+// per-cycle class checks are a single byte-array load instead of a bounds
+// check plus a struct copy (Class sits on every simulator hot path).
+var opClasses = func() (t [numOps]Class) {
+	for op := Op(0); op < numOps; op++ {
+		t[op] = opInfo[op].Class
+	}
+	return t
+}()
+
 // Class returns the instruction class of op.
-func (op Op) Class() Class { return op.Info().Class }
+func (op Op) Class() Class {
+	if op >= numOps {
+		return ClassNop
+	}
+	return opClasses[op]
+}
 
 // String returns the assembler mnemonic.
 func (op Op) String() string { return op.Info().Name }

@@ -1,0 +1,77 @@
+package lab
+
+import (
+	"reflect"
+	"testing"
+
+	"flywheel/internal/sim"
+	"flywheel/internal/trace"
+	"flywheel/internal/workload"
+	"flywheel/internal/workload/synth"
+)
+
+// With trace prefix-sharing enabled, every instruction budget of a
+// workload replays a prefix of one shared recording — which makes it easy
+// to imagine a bug where two budgets alias to one cached result. This
+// property test pins the two layers that prevent it: Job.Key stays
+// injective across MaxInstructions, and lab results at each budget equal
+// the results computed with the trace cache disabled entirely.
+func TestNoCrossBudgetAliasingWithPrefixSharing(t *testing.T) {
+	w, err := synth.Build(synth.Profile{ILP: 3, BranchEntropy: 0.4, MemFootprintKB: 32, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Register(w); err != nil {
+		t.Fatal(err)
+	}
+
+	budgets := []uint64{400, 800, 1600, 3200}
+	var jobs []Job
+	keys := map[string]uint64{}
+	for _, b := range budgets {
+		j := Job{Workload: w.Name, Arch: sim.ArchFlywheel, FEBoostPct: 50, BEBoostPct: 50, MaxInstructions: b}
+		if prev, dup := keys[j.Key()]; dup {
+			t.Fatalf("budgets %d and %d share cache key %q", prev, b, j.Key())
+		}
+		keys[j.Key()] = b
+		jobs = append(jobs, j)
+	}
+	// The largest budget runs first, so smaller budgets replay a prefix of
+	// its recording; then re-run ascending so the recording is reused.
+	ordered := append([]Job{jobs[len(jobs)-1]}, jobs...)
+
+	prev := sim.TraceCachePolicy()
+	defer func() {
+		sim.SetTraceCachePolicy(prev)
+		sim.ResetTraceCache()
+	}()
+
+	sim.SetTraceCachePolicy(trace.Policy{})
+	sim.ResetTraceCache()
+	shared, err := Run(ordered, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := sim.TraceCacheStats(); stats.Hits == 0 {
+		t.Fatalf("prefix sharing did not engage: %+v", stats)
+	}
+
+	sim.SetTraceCachePolicy(trace.Policy{Disabled: true})
+	sim.ResetTraceCache()
+	isolated, err := Run(ordered, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	retired := map[uint64]bool{}
+	for i := range ordered {
+		if !reflect.DeepEqual(shared[i], isolated[i]) {
+			t.Fatalf("budget %d: prefix-shared result differs from isolated result", ordered[i].MaxInstructions)
+		}
+		retired[shared[i].Retired] = true
+	}
+	// Distinct budgets must produce distinct runs, not one aliased result.
+	if len(retired) < len(budgets) {
+		t.Fatalf("expected %d distinct retired counts across budgets, got %d", len(budgets), len(retired))
+	}
+}

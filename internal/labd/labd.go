@@ -32,6 +32,7 @@ import (
 	"flywheel/internal/lab"
 	"flywheel/internal/lab/store"
 	"flywheel/internal/sim"
+	"flywheel/internal/trace"
 )
 
 // MaxBatch bounds one sweep request; bigger job lists should be split by
@@ -67,10 +68,15 @@ type StoreStats struct {
 
 // StatsReply is the /v1/stats body.
 type StatsReply struct {
-	Cache         lab.Stats   `json:"cache"`
-	Store         *StoreStats `json:"store,omitempty"`
-	Version       string      `json:"version"`
-	UptimeSeconds float64     `json:"uptime_seconds"`
+	Cache lab.Stats   `json:"cache"`
+	Store *StoreStats `json:"store,omitempty"`
+	// TraceCache and SnapshotCache report the simulator-level caches the
+	// service shares across every request: the record-once/replay-many
+	// dynamic-trace cache and the warm-snapshot cache.
+	TraceCache    trace.Stats           `json:"trace_cache"`
+	SnapshotCache sim.SnapshotCacheInfo `json:"snapshot_cache"`
+	Version       string                `json:"version"`
+	UptimeSeconds float64               `json:"uptime_seconds"`
 }
 
 // FrontierPoint is one Pareto-optimal configuration in /v1/frontier.
@@ -271,6 +277,8 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	reply := StatsReply{
 		Cache:         s.cache.Stats(),
+		TraceCache:    sim.TraceCacheStats(),
+		SnapshotCache: sim.SnapshotCacheInfoNow(),
 		Version:       store.Version(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}

@@ -5,7 +5,6 @@ import (
 
 	"flywheel/internal/branch"
 	"flywheel/internal/clock"
-	"flywheel/internal/emu"
 	"flywheel/internal/mem"
 	"flywheel/internal/pipe"
 )
@@ -37,8 +36,10 @@ type Core struct {
 	stats  Stats
 }
 
-// New builds a core around the given oracle stream.
-func New(cfg Config, stream *emu.Stream) *Core {
+// New builds a core around the given oracle source: a live *emu.Stream, a
+// trace-cache recorder or reader (package trace), or anything else
+// honouring the Next/Fill iterator contract.
+func New(cfg Config, stream pipe.InstSource) *Core {
 	pred := branch.New(cfg.Branch)
 	hier := mem.NewHierarchy(cfg.Mem)
 	arena := pipe.NewArena(pipe.ArenaCapacity(cfg.ROBSize, cfg.FrontQueueCap, cfg.FetchWidth))
@@ -137,11 +138,20 @@ func (c *Core) retire(now int64) {
 
 func (c *Core) issue(now int64) {
 	p := c.cfg.PeriodPS
-	selected := c.iw.Select(now, p, c.cfg.IssueWidth, c.fu, func(d *pipe.DynInst) bool {
+	// One load-barrier snapshot serves every waiting load this edge (store
+	// states cannot change inside the select scan); computed lazily so
+	// load-free edges pay nothing.
+	loadBarrier, haveBarrier := uint64(0), false
+	selected := c.iw.Select(now, p, c.cfg.IssueWidth, c.fu, func(d *pipe.DynInst) pipe.SelectVerdict {
 		if d.IsLoad() {
-			return c.lsq.CanIssueLoad(d)
+			if !haveBarrier {
+				loadBarrier, haveBarrier = c.lsq.LoadBarrier(), true
+			}
+			if d.Seq() >= loadBarrier {
+				return pipe.SelectSkip
+			}
 		}
-		return true
+		return pipe.SelectOK
 	})
 	for _, d := range selected {
 		d.State = pipe.StateIssued

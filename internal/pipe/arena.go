@@ -99,6 +99,9 @@ func (a *Arena) Alloc(tr emu.Trace) *DynInst {
 		arena:     a,
 		slot:      d.slot,
 		gen:       d.gen,
+		class:     tr.Inst.Class(),
+		srcReady:  -1,
+		iwSlot:    -1,
 	}
 	a.Allocs++
 	return d

@@ -98,13 +98,38 @@ type DynInst struct {
 	arena *Arena
 	slot  uint32
 	gen   uint32
+
+	// class caches Trace.Inst.Class() — the issue window re-checks the
+	// class on every wake-up/select edge, so one table walk at allocation
+	// pays for thousands of reads.
+	class isa.Class
+
+	// srcReady memoizes SourcesReadyAt once every producer has issued
+	// (-1 = not yet known); blockRef caches the unissued producer that
+	// blocked the last walk. See SourcesReadyAt and readyAtCached for why
+	// the memo is exact.
+	srcReady int64
+	blockRef Ref
+
+	// Issue-window wake-up plumbing: the slot this instruction occupies in
+	// its window (-1 when not inserted), whether it is on the window's
+	// ready list, the head of the chain of entries parked waiting on this
+	// instruction's result, and this instruction's link in the chain it is
+	// parked on. See IssueWindow.
+	iwSlot  int32
+	iwReady bool
+	wHead   Ref
+	wNext   Ref
 }
 
 // NewDynInst wraps an oracle trace record in a standalone (non-arena)
 // instruction. The timing cores allocate through an Arena instead; this
 // constructor remains for tests and one-off uses.
 func NewDynInst(tr emu.Trace) *DynInst {
-	return &DynInst{Trace: tr, ResultAt: FarFuture, DoneAt: FarFuture, IssueUnit: -1}
+	return &DynInst{
+		Trace: tr, ResultAt: FarFuture, DoneAt: FarFuture, IssueUnit: -1,
+		class: tr.Inst.Class(), srcReady: -1, iwSlot: -1,
+	}
 }
 
 // Ref returns the generation-checked reference to this instruction, or
@@ -122,8 +147,8 @@ func (d *DynInst) Seq() uint64 { return d.Trace.Seq }
 // Inst returns the static instruction.
 func (d *DynInst) Inst() isa.Instruction { return d.Trace.Inst }
 
-// Class returns the instruction class.
-func (d *DynInst) Class() isa.Class { return d.Trace.Inst.Class() }
+// Class returns the instruction class (cached at allocation).
+func (d *DynInst) Class() isa.Class { return d.class }
 
 // IsLoad reports whether this is a load.
 func (d *DynInst) IsLoad() bool { return d.Class() == isa.ClassLoad }
@@ -142,7 +167,28 @@ func (d *DynInst) IsHalt() bool { return d.Trace.Inst.Op == isa.HALT }
 // wake-up/select study of Figure 2 passes one back-end period here).
 // Producers whose references no longer resolve have retired; their values
 // are architecturally ready.
+//
+// Once every producer has issued the answer is final and is memoized:
+// a producer's ResultAt is written exactly once (at issue), and a producer
+// can only be freed at retirement, at or after its own DoneAt >= ResultAt —
+// by which time the memoized bound has already passed (the wake-up extra
+// delay never exceeds one period, the gap between ResultAt and DoneAt).
+// Producers freed by a squash were unissued, so no finite value was
+// memoized for their consumers. The select loop re-asks this question
+// every cycle for every waiting instruction; the memo turns the common
+// case into one comparison.
 func (d *DynInst) SourcesReadyAt(extraDelayPS int64) int64 {
+	if d.srcReady >= 0 {
+		return d.srcReady
+	}
+	return d.sourcesReadyWalk(extraDelayPS)
+}
+
+// sourcesReadyWalk is the full producer walk behind SourcesReadyAt. It
+// memoizes a finite answer (producers' ResultAt are written exactly once,
+// at issue, so a finite maximum is final) and caches the first unissued
+// producer it meets for readyAtCached's fast blocked-recheck.
+func (d *DynInst) sourcesReadyWalk(extraDelayPS int64) int64 {
 	ready := int64(0)
 	for _, ref := range d.Src {
 		if ref == NoRef || d.arena == nil {
@@ -154,6 +200,7 @@ func (d *DynInst) SourcesReadyAt(extraDelayPS int64) int64 {
 		}
 		t := src.ResultAt
 		if t >= FarFuture {
+			d.blockRef = ref
 			return FarFuture
 		}
 		t += extraDelayPS
@@ -161,7 +208,28 @@ func (d *DynInst) SourcesReadyAt(extraDelayPS int64) int64 {
 			ready = t
 		}
 	}
+	d.srcReady = ready
 	return ready
+}
+
+// readyAtCached is SourcesReadyAt with an exact fast path for the select
+// loop's dominant case, an entry waiting on an unissued producer: while
+// the cached blocking producer still resolves and has not issued, the
+// answer is still "not ready" — one generation-checked load instead of a
+// full walk. The check is exact, not heuristic: a recycled slot fails the
+// generation check and an issued producer has a finite ResultAt, and
+// either triggers the full walk.
+func (d *DynInst) readyAtCached(extraDelayPS int64) int64 {
+	if d.srcReady >= 0 {
+		return d.srcReady
+	}
+	if d.blockRef != NoRef {
+		if p := d.arena.Get(d.blockRef); p != nil && p.ResultAt >= FarFuture {
+			return FarFuture
+		}
+		d.blockRef = NoRef
+	}
+	return d.sourcesReadyWalk(extraDelayPS)
 }
 
 // Overlaps reports whether two memory accesses touch overlapping bytes.

@@ -1,5 +1,7 @@
 package pipe
 
+import "flywheel/internal/isa"
+
 // LSQ is the load/store queue. Entries sit in program order from dispatch
 // until retirement. The model uses conservative memory disambiguation: a
 // load may not access the cache until every older store has computed its
@@ -39,15 +41,21 @@ func (q *LSQ) Insert(d *DynInst) bool {
 // CanIssueLoad reports whether the load may access memory now: every older
 // store must have issued (computed its address and data).
 func (q *LSQ) CanIssueLoad(load *DynInst) bool {
+	return load.Seq() < q.LoadBarrier()
+}
+
+// LoadBarrier returns the sequence number of the oldest store that has not
+// issued yet (or the maximum sequence when every store has): loads older
+// than the barrier may access memory. Issue loops compute the barrier once
+// per select edge instead of rescanning the queue per waiting load — store
+// states do not change inside a select scan, so one snapshot is exact.
+func (q *LSQ) LoadBarrier() uint64 {
 	for _, e := range q.entries {
-		if e.Seq() >= load.Seq() {
-			break
-		}
-		if e.IsStore() && e.State < StateIssued {
-			return false
+		if e.class == isa.ClassStore && e.State < StateIssued {
+			return e.Seq()
 		}
 	}
-	return true
+	return ^uint64(0)
 }
 
 // ForwardSource returns the youngest older store with overlapping bytes, if

@@ -49,15 +49,32 @@ func TestDynInstSourcesReadyAt(t *testing.T) {
 	}
 	p1.ResultAt = 100
 	p2.ResultAt = 300
-	if got := d.SourcesReadyAt(0); got != 300 {
-		t.Errorf("ready at %d, want 300 (max of producers)", got)
-	}
 	if got := d.SourcesReadyAt(50); got != 350 {
-		t.Errorf("with extra delay: %d, want 350", got)
+		t.Errorf("with extra delay: %d, want 350 (max of producers + delay)", got)
 	}
-	d.Src[0], d.Src[1] = NoRef, NoRef
-	if got := d.SourcesReadyAt(0); got != 0 {
+	// Once every producer has issued the answer is final and memoized; the
+	// issue loops always ask with their window's constant extra delay.
+	if got := d.SourcesReadyAt(50); got != 350 {
+		t.Errorf("memoized: %d, want 350", got)
+	}
+	d2 := alu(3, 3, 1, 2)
+	if got := d2.SourcesReadyAt(0); got != 0 {
 		t.Errorf("no producers: %d, want 0", got)
+	}
+}
+
+func TestDynInstSourcesReadyAtMemoSkipsUnissued(t *testing.T) {
+	p1 := alu(0, 1, 0, 0)
+	d := alu(1, 2, 1, 0)
+	d.Src[0] = p1.Ref()
+	if got := d.SourcesReadyAt(0); got != FarFuture {
+		t.Fatalf("unissued producer: %d, want FarFuture", got)
+	}
+	// FarFuture is never memoized: once the producer issues, the consumer
+	// sees the real wake-up time.
+	p1.ResultAt = 700
+	if got := d.SourcesReadyAt(0); got != 700 {
+		t.Fatalf("after producer issue: %d, want 700", got)
 	}
 }
 
@@ -211,11 +228,11 @@ func TestIssueWindowExtraPredicate(t *testing.T) {
 	pool := NewFUPool(DefaultFUConfig())
 	d := load(0, 3, 0x100)
 	w.Insert(d, 0)
-	block := func(*DynInst) bool { return false }
+	block := func(*DynInst) SelectVerdict { return SelectSkip }
 	if sel := w.Select(100, 100, 6, pool, block); len(sel) != 0 {
 		t.Error("predicate did not block selection")
 	}
-	allow := func(*DynInst) bool { return true }
+	allow := func(*DynInst) SelectVerdict { return SelectOK }
 	if sel := w.Select(200, 100, 6, pool, allow); len(sel) != 1 {
 		t.Error("predicate blocked valid selection")
 	}

@@ -119,16 +119,29 @@ func Run(cfg RunConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m := ws.machine()
-	limit := uint64(0)
-	if cfg.MaxInstructions > 0 {
-		limit = m.Retired + cfg.MaxInstructions
+	// The instruction stream comes from the trace cache: the first run of a
+	// workload records the functional emulator's output while consuming it,
+	// later runs replay the recording (see tracecache.go).
+	stream, finish, err := acquireSource(w, ws, cfg.MaxInstructions)
+	if err != nil {
+		return Result{}, err
 	}
-	stream := emu.NewStream(m, limit)
+	// finish must run exactly once on every exit — including a panic in a
+	// timing core (the lab recovers panics into error results, so without
+	// this a recording would stay in-progress forever and concurrent
+	// replayers of it would block indefinitely).
+	finished := false
+	defer func() {
+		if !finished {
+			finish(fmt.Errorf("sim %s/%s: run aborted", cfg.Workload, cfg.Arch))
+		}
+	}()
 	period := cacti.BaselinePeriodPS(cfg.Node)
 
 	tech, err := power.Tech(cfg.Node)
 	if err != nil {
+		finish(err)
+		finished = true
 		return Result{}, err
 	}
 
@@ -137,54 +150,62 @@ func Run(cfg RunConfig) (Result, error) {
 	// starts from realistic state (the paper fast-forwards 500M
 	// instructions).
 	res := Result{Config: cfg}
-	switch cfg.Arch {
-	case ArchBaseline:
-		bc := baselineConfig(cfg, period)
-		c := ooo.New(bc, stream)
-		if err := ws.warm(c.Warmer(), w, bc.Mem, bc.Branch); err != nil {
-			return Result{}, err
+	runErr := func() error {
+		switch cfg.Arch {
+		case ArchBaseline:
+			bc := baselineConfig(cfg, period)
+			c := ooo.New(bc, stream)
+			if err := ws.warm(c.Warmer(), w, bc.Mem, bc.Branch); err != nil {
+				return err
+			}
+			stats, err := c.Run()
+			if err != nil {
+				return fmt.Errorf("sim %s/%s: %w", cfg.Workload, cfg.Arch, err)
+			}
+			rep := power.Compute(baselineActivity(stats), power.BaselineShape(), tech)
+			res.TimePS = stats.TimePS
+			res.Cycles = stats.Cycles
+			res.Retired = stats.Retired
+			res.IPC = stats.IPC
+			res.Mispredicts = stats.Mispredicts
+			res.BranchAccuracy = stats.BranchAccuracy
+			res.EnergyPJ = rep.TotalPJ
+			res.PowerW = rep.AvgPowerW
+			res.LeakageFrac = rep.LeakageFrac
+			res.Baseline = &stats
+		case ArchFlywheel, ArchRegAlloc:
+			fc := flywheelConfig(cfg, period)
+			c := core.New(fc, stream)
+			if err := ws.warm(c.Warmer(), w, fc.Mem, fc.Branch); err != nil {
+				return err
+			}
+			stats, err := c.Run()
+			if err != nil {
+				return fmt.Errorf("sim %s/%s: %w", cfg.Workload, cfg.Arch, err)
+			}
+			rep := power.Compute(stats.Activity(), power.FlywheelShape(), tech)
+			res.TimePS = stats.TimePS
+			res.Cycles = stats.Cycles()
+			res.Retired = stats.Retired
+			res.IPC = stats.IPC
+			res.Mispredicts = stats.Mispredicts
+			res.BranchAccuracy = stats.BranchAccuracy
+			res.ECResidency = stats.ECResidency
+			res.Divergences = stats.Divergences
+			res.TraceStats = stats.EC
+			res.EnergyPJ = rep.TotalPJ
+			res.PowerW = rep.AvgPowerW
+			res.LeakageFrac = rep.LeakageFrac
+			res.Flywheel = &stats
+		default:
+			return fmt.Errorf("sim: unknown architecture %d", cfg.Arch)
 		}
-		stats, err := c.Run()
-		if err != nil {
-			return Result{}, fmt.Errorf("sim %s/%s: %w", cfg.Workload, cfg.Arch, err)
-		}
-		rep := power.Compute(baselineActivity(stats), power.BaselineShape(), tech)
-		res.TimePS = stats.TimePS
-		res.Cycles = stats.Cycles
-		res.Retired = stats.Retired
-		res.IPC = stats.IPC
-		res.Mispredicts = stats.Mispredicts
-		res.BranchAccuracy = stats.BranchAccuracy
-		res.EnergyPJ = rep.TotalPJ
-		res.PowerW = rep.AvgPowerW
-		res.LeakageFrac = rep.LeakageFrac
-		res.Baseline = &stats
-	case ArchFlywheel, ArchRegAlloc:
-		fc := flywheelConfig(cfg, period)
-		c := core.New(fc, stream)
-		if err := ws.warm(c.Warmer(), w, fc.Mem, fc.Branch); err != nil {
-			return Result{}, err
-		}
-		stats, err := c.Run()
-		if err != nil {
-			return Result{}, fmt.Errorf("sim %s/%s: %w", cfg.Workload, cfg.Arch, err)
-		}
-		rep := power.Compute(stats.Activity(), power.FlywheelShape(), tech)
-		res.TimePS = stats.TimePS
-		res.Cycles = stats.Cycles()
-		res.Retired = stats.Retired
-		res.IPC = stats.IPC
-		res.Mispredicts = stats.Mispredicts
-		res.BranchAccuracy = stats.BranchAccuracy
-		res.ECResidency = stats.ECResidency
-		res.Divergences = stats.Divergences
-		res.TraceStats = stats.EC
-		res.EnergyPJ = rep.TotalPJ
-		res.PowerW = rep.AvgPowerW
-		res.LeakageFrac = rep.LeakageFrac
-		res.Flywheel = &stats
-	default:
-		return Result{}, fmt.Errorf("sim: unknown architecture %d", cfg.Arch)
+		return nil
+	}()
+	finish(runErr)
+	finished = true
+	if runErr != nil {
+		return Result{}, runErr
 	}
 	return res, nil
 }

@@ -2,9 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"strings"
 	"sync"
-	"sync/atomic"
 
 	"flywheel/internal/asm"
 	"flywheel/internal/branch"
@@ -25,6 +23,52 @@ import (
 // (an O(pages-touched-later) copy-on-write clone) and replays the recorded
 // observations into its own warmer, never touching the functional
 // initialization path again.
+//
+// The cache is bounded: entry-count and byte caps evict complete entries
+// least-recently-used first (in-flight builds are never evicted), so a
+// caller streaming unbounded distinct programs — a fuzzer, a generator
+// sweep — trades re-assembly for bounded memory instead of growing without
+// limit. Eviction is invisible to correctness: an evicted key rebuilds on
+// the next request, and concurrent holders of the evicted entry keep their
+// references.
+
+// SnapshotCachePolicy bounds the warm-snapshot cache.
+type SnapshotCachePolicy struct {
+	// MaxEntries caps the number of cached snapshots; zero or negative
+	// means DefaultSnapshotMaxEntries.
+	MaxEntries int
+	// MaxBytes caps the estimated resident footprint (frozen memory pages
+	// plus recorded warm observations); zero or negative means
+	// DefaultSnapshotMaxBytes.
+	MaxBytes int64
+}
+
+// Default snapshot-cache bounds.
+const (
+	DefaultSnapshotMaxEntries = 1024
+	DefaultSnapshotMaxBytes   = int64(512) << 20
+)
+
+func (p SnapshotCachePolicy) maxEntries() int {
+	if p.MaxEntries <= 0 {
+		return DefaultSnapshotMaxEntries
+	}
+	return p.MaxEntries
+}
+
+func (p SnapshotCachePolicy) maxBytes() int64 {
+	if p.MaxBytes <= 0 {
+		return DefaultSnapshotMaxBytes
+	}
+	return p.MaxBytes
+}
+
+// SnapshotCacheInfo is a snapshot of the cache counters.
+type SnapshotCacheInfo struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+	Bytes                   int64
+}
 
 // warmSnapshot is the cached one-time work for a workload.
 type warmSnapshot struct {
@@ -36,24 +80,62 @@ type warmSnapshot struct {
 	log *pipe.WarmLog
 }
 
+// bytes estimates the snapshot's resident footprint.
+func (ws *warmSnapshot) bytes() int64 {
+	b := int64(ws.snap.MemPages()) * 4096
+	if ws.log != nil {
+		b += int64(ws.log.Len()) * 48 // sizeof(emu.Trace), near enough
+	}
+	return b
+}
+
 // snapEntry is one cache slot, built at most once.
 type snapEntry struct {
-	once sync.Once
-	ws   *warmSnapshot
-	err  error
+	once  sync.Once
+	ws    *warmSnapshot
+	err   error
+	bytes int64
+	used  uint64 // LRU stamp, under snapMu
+	built bool   // accounting done, under snapMu
 }
 
 var (
-	snapCache  sync.Map // cache key (string) -> *snapEntry
-	snapHits   atomic.Uint64
-	snapMisses atomic.Uint64
+	snapMu     sync.Mutex
+	snapCache  = map[string]*snapEntry{}
+	snapPolicy SnapshotCachePolicy
+	snapClock  uint64
+	snapBytes  int64
+	snapHits   uint64
+	snapMisses uint64
+	snapEvicts uint64
 )
+
+// SetSnapshotCachePolicy replaces the cache bounds; lowering them evicts
+// immediately.
+func SetSnapshotCachePolicy(p SnapshotCachePolicy) {
+	snapMu.Lock()
+	defer snapMu.Unlock()
+	snapPolicy = p
+	evictSnapshotsLocked()
+}
 
 // SnapshotCacheStats reports how many simulation setups were served from
 // the warm-snapshot cache (hits) versus built by executing a workload's
 // initialization phase (misses).
 func SnapshotCacheStats() (hits, misses uint64) {
-	return snapHits.Load(), snapMisses.Load()
+	snapMu.Lock()
+	defer snapMu.Unlock()
+	return snapHits, snapMisses
+}
+
+// SnapshotCacheInfoNow reports the full cache counters.
+func SnapshotCacheInfoNow() SnapshotCacheInfo {
+	snapMu.Lock()
+	defer snapMu.Unlock()
+	return SnapshotCacheInfo{
+		Hits: snapHits, Misses: snapMisses, Evictions: snapEvicts,
+		Entries: len(snapCache), Bytes: snapBytes,
+	}
 }
 
 // ResetSnapshotCache drops every cached snapshot and zeroes the hit/miss
@@ -62,43 +144,87 @@ func SnapshotCacheStats() (hits, misses uint64) {
 // process and is not re-run after a reset; a post-reset miss rebuilds the
 // cache entry from the workload's frozen state.
 func ResetSnapshotCache() {
-	snapCache.Range(func(k, _ any) bool {
-		snapCache.Delete(k)
-		return true
-	})
-	snapHits.Store(0)
-	snapMisses.Store(0)
-	sourceSnapCount.Store(0)
+	snapMu.Lock()
+	snapCache = map[string]*snapEntry{}
+	snapBytes = 0
+	snapClock = 0
+	snapHits, snapMisses, snapEvicts = 0, 0, 0
+	snapMu.Unlock()
 	resetWarmStates()
+}
+
+// evictSnapshotsLocked enforces the caps, least-recently-used first.
+// Entries still building are skipped (their cost is unknown and a waiter
+// holds them anyway).
+func evictSnapshotsLocked() {
+	maxE, maxB := snapPolicy.maxEntries(), snapPolicy.maxBytes()
+	for len(snapCache) > maxE || snapBytes > maxB {
+		var victim string
+		var oldest uint64
+		found := false
+		for k, e := range snapCache {
+			if !e.built {
+				continue
+			}
+			if !found || e.used < oldest {
+				victim, oldest, found = k, e.used, true
+			}
+		}
+		if !found {
+			return
+		}
+		snapBytes -= snapCache[victim].bytes
+		delete(snapCache, victim)
+		snapEvicts++
+	}
 }
 
 // cachedSnapshot returns the entry for key, building it at most once via
 // build; concurrent callers for the same key share one execution
-// (singleflight) and every subsequent call is a cache hit.
+// (singleflight) and every later call is a cache hit until the entry is
+// evicted by the caps.
 func cachedSnapshot(key string, build func() (*warmSnapshot, error)) (*warmSnapshot, error) {
-	e, _ := snapCache.LoadOrStore(key, &snapEntry{})
-	entry := e.(*snapEntry)
-	built := false
-	entry.once.Do(func() {
-		built = true
-		snapMisses.Add(1)
-		entry.ws, entry.err = build()
+	snapMu.Lock()
+	snapClock++
+	e, ok := snapCache[key]
+	if ok {
+		e.used = snapClock
+		snapHits++
+	} else {
+		e = &snapEntry{used: snapClock}
+		snapCache[key] = e
+		snapMisses++
+	}
+	snapMu.Unlock()
+
+	e.once.Do(func() {
+		e.ws, e.err = build()
+		snapMu.Lock()
+		e.built = true
+		if e.err == nil {
+			e.bytes = e.ws.bytes()
+			snapBytes += e.bytes
+			evictSnapshotsLocked()
+		} else {
+			// Failed builds are not worth caching past their flight.
+			if snapCache[key] == e {
+				delete(snapCache, key)
+			}
+		}
+		snapMu.Unlock()
 	})
-	if !built {
-		snapHits.Add(1)
+	if e.err != nil {
+		return nil, e.err
 	}
-	if entry.err != nil {
-		return nil, entry.err
-	}
-	return entry.ws, nil
+	return e.ws, nil
 }
 
 // workloadSnapshot builds or fetches the warm snapshot of a registered
 // workload. The one-time init execution lives in workload.WarmState (shared
 // with Workload.NewMachine, so mixed NewMachine/sim.Run callers never
-// fast-forward twice); this cache layer only adds the hit/miss accounting.
-// The registry guarantees a name maps to one source text for the life of
-// the process, so the name is a sound cache key.
+// fast-forward twice); this cache layer adds the hit/miss accounting and
+// the caps. The registry guarantees a name maps to one source text for the
+// life of the process, so the name is a sound cache key.
 func workloadSnapshot(w *workload.Workload) (*warmSnapshot, error) {
 	return cachedSnapshot("workload\x00"+w.Name, func() (*warmSnapshot, error) {
 		snap, log, err := w.WarmState()
@@ -109,36 +235,13 @@ func workloadSnapshot(w *workload.Workload) (*warmSnapshot, error) {
 	})
 }
 
-// maxSourceSnapshots bounds how many distinct ad-hoc programs the source
-// cache retains. A caller streaming unique programs (a fuzzer, a sweep over
-// generated kernels not registered as workloads) would otherwise grow the
-// cache — each entry pins the source text, the assembled program and its
-// frozen pages — without bound. Past the cap the source-keyed entries are
-// dropped wholesale (registered workloads are unaffected), trading one
-// re-assembly per dropped program for bounded memory.
-const maxSourceSnapshots = 1024
-
-// sourceSnapCount approximately tracks live source-keyed entries; racing
-// inserts may overshoot the cap by a few entries, which is harmless.
-var sourceSnapCount atomic.Int64
-
 // sourceSnapshot builds or fetches the load-image snapshot of an ad-hoc
 // program (RunSource): assembly and code-image encoding happen once per
 // distinct (name, source) pair, and each run starts from a copy-on-write
 // clone. Ad-hoc programs have no warm-up phase, so the log stays empty.
+// A caller streaming unique programs is bounded by the cache caps.
 func sourceSnapshot(name, source string) (*warmSnapshot, error) {
-	key := "source\x00" + name + "\x00" + source
-	if _, ok := snapCache.Load(key); !ok && sourceSnapCount.Load() >= maxSourceSnapshots {
-		snapCache.Range(func(k, _ any) bool {
-			if ks := k.(string); strings.HasPrefix(ks, "source\x00") {
-				snapCache.Delete(k)
-			}
-			return true
-		})
-		sourceSnapCount.Store(0)
-	}
-	return cachedSnapshot(key, func() (*warmSnapshot, error) {
-		sourceSnapCount.Add(1)
+	return cachedSnapshot("source\x00"+name+"\x00"+source, func() (*warmSnapshot, error) {
 		prog, err := asm.Assemble(name, source)
 		if err != nil {
 			return nil, err

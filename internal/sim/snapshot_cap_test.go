@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"flywheel/internal/cacti"
+)
+
+// TestCappedSnapshotCacheStaysCorrect pins the eviction contract: a
+// snapshot cache squeezed to a tiny entry cap must keep producing results
+// byte-identical to the uncapped cache — evictions only cost rebuild time.
+func TestCappedSnapshotCacheStaysCorrect(t *testing.T) {
+	defer func() {
+		SetSnapshotCachePolicy(SnapshotCachePolicy{})
+		ResetSnapshotCache()
+	}()
+
+	// Ad-hoc programs (RunSource) exercise the source-keyed entries, which
+	// are the unbounded-growth risk the cap exists for.
+	src := func(i int) (string, string) {
+		return fmt.Sprintf("cap-test-%d", i), fmt.Sprintf(`
+        .data
+buf:    .space 64
+        .text
+        la   r2, buf
+        li   r1, %d
+loop:   ld   r3, 0(r2)
+        addi r3, r3, %d
+        sd   r3, 0(r2)
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`, 200+i, 1+i)
+	}
+	cfg := RunConfig{Arch: ArchBaseline, Node: cacti.Node130}
+
+	run := func() []Result {
+		ResetSnapshotCache()
+		var out []Result
+		// Interleave revisits so the LRU actually evicts and rebuilds.
+		for _, i := range []int{0, 1, 2, 3, 0, 1, 4, 5, 0, 2} {
+			name, text := src(i)
+			res, err := RunSource(name, text, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+
+	SetSnapshotCachePolicy(SnapshotCachePolicy{})
+	uncapped := run()
+
+	SetSnapshotCachePolicy(SnapshotCachePolicy{MaxEntries: 2})
+	capped := run()
+	info := SnapshotCacheInfoNow()
+	if info.Evictions == 0 {
+		t.Fatalf("entry cap 2 over 6 programs must evict, stats: %+v", info)
+	}
+	if info.Entries > 2 {
+		t.Fatalf("cache holds %d entries, cap is 2", info.Entries)
+	}
+
+	if !reflect.DeepEqual(uncapped, capped) {
+		t.Fatal("capped snapshot cache changed simulation results")
+	}
+}
+
+// TestSnapshotByteCapEvicts drives the byte cap instead of the entry cap.
+func TestSnapshotByteCapEvicts(t *testing.T) {
+	defer func() {
+		SetSnapshotCachePolicy(SnapshotCachePolicy{})
+		ResetSnapshotCache()
+	}()
+	SetSnapshotCachePolicy(SnapshotCachePolicy{MaxBytes: 1}) // nothing fits
+	ResetSnapshotCache()
+	cfg := RunConfig{Arch: ArchBaseline, Node: cacti.Node130}
+	for i := 0; i < 3; i++ {
+		if _, err := RunSource("bytecap", "\t.text\n\taddi r1, r0, 1\n\thalt\n", cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info := SnapshotCacheInfoNow()
+	if info.Evictions == 0 {
+		t.Fatalf("byte cap 1 must evict every build, stats: %+v", info)
+	}
+}

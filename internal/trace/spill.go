@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"flywheel/internal/isa"
+)
+
+// Recording spill: completed recordings are serialized into a directory so
+// a second process over the same store records nothing — the functional
+// execution of a workload happens once, ever. The format is a private,
+// versioned binary dump of the chunk columns; anything unexpected (bad
+// magic, version skew, truncation, wrong warm point) is treated as a miss,
+// mirroring the corruption tolerance of internal/lab/store.
+
+// spillMagic and spillVersion stamp the file format. Bump the version on
+// any change to the chunk encoding (encode.go) — stale files then read as
+// misses and are overwritten by fresh recordings.
+const (
+	spillMagic   = "FWTRACE\x00"
+	spillVersion = uint32(1)
+)
+
+type spillDir struct{ dir string }
+
+// path maps a cache key to its file. Keys embed workload source hashes
+// (see sim's key construction) and are unbounded, so the filename is the
+// key's digest.
+func (s *spillDir) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+".trace")
+}
+
+// save atomically writes a completed recording.
+func (s *spillDir) save(r *Recording) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	chunks := r.chunks
+	halted := r.halted
+	r.mu.Unlock()
+
+	tmp, err := os.CreateTemp(s.dir, ".trace-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+
+	// Everything after the fixed header runs through a CRC, appended as a
+	// trailer: a structurally plausible but corrupted payload must read as
+	// a miss, never as a wrong instruction stream.
+	sum := crc32.NewIEEE()
+	w := io.MultiWriter(bw, sum)
+	put := func(v uint64) { _ = binary.Write(w, binary.LittleEndian, v) }
+	_, _ = bw.WriteString(spillMagic)
+	_ = binary.Write(bw, binary.LittleEndian, spillVersion)
+	put(r.startSeq)
+	put(r.ceiling)
+	b := byte(0)
+	if halted {
+		b = 1
+	}
+	_, _ = w.Write([]byte{b})
+	put(uint64(len(chunks)))
+	var raw [8]byte
+	for _, c := range chunks {
+		put(c.baseSeq)
+		put(c.basePC)
+		put(uint64(c.n))
+		put(uint64(len(c.insts)))
+		for _, in := range c.insts {
+			raw[0], raw[1], raw[2], raw[3] = byte(in.Op), byte(in.Rd), byte(in.Rs1), byte(in.Rs2)
+			binary.LittleEndian.PutUint32(raw[4:], uint32(in.Imm))
+			_, _ = w.Write(raw[:])
+		}
+		put(uint64(len(c.taken)))
+		_, _ = w.Write(c.taken)
+		put(uint64(len(c.addrs)))
+		_, _ = w.Write(c.addrs)
+		put(uint64(len(c.targets)))
+		for _, t := range c.targets {
+			put(t)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, sum.Sum32()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(r.key))
+}
+
+// load revives a recording if a compatible file exists and covers the
+// budget. Any read problem is a plain miss.
+func (s *spillDir) load(cacheKey string, startSeq, budget uint64) *Recording {
+	f, err := os.Open(s.path(cacheKey))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+
+	magic := make([]byte, len(spillMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != spillMagic {
+		return nil
+	}
+	var ver uint32
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil || ver != spillVersion {
+		return nil
+	}
+	// Everything after the version runs through the CRC that save appended
+	// as a trailer; a mismatch reads as a miss.
+	sum := crc32.NewIEEE()
+	tr := io.TeeReader(r, sum)
+	get := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(tr, binary.LittleEndian, &v)
+		return v, err
+	}
+	fileStart, err := get()
+	if err != nil || fileStart != startSeq {
+		return nil
+	}
+	ceiling, err := get()
+	if err != nil {
+		return nil
+	}
+	var hb [1]byte
+	if _, err := io.ReadFull(tr, hb[:]); err != nil {
+		return nil
+	}
+	halted := hb[0] == 1
+	// Usability check before paying for the chunk payload.
+	if !halted && ceiling != 0 && (budget == 0 || budget > ceiling) {
+		return nil
+	}
+	nchunks, err := get()
+	if err != nil || nchunks > 1<<24 {
+		return nil
+	}
+	rec := newRecording(cacheKey, startSeq, ceiling)
+	for ci := uint64(0); ci < nchunks; ci++ {
+		c, err := readChunk(tr, get)
+		if err != nil {
+			return nil
+		}
+		rec.chunks = append(rec.chunks, c)
+		rec.total += uint64(c.n)
+		rec.bytes += c.sizeBytes()
+	}
+	var fileCRC uint32
+	if err := binary.Read(r, binary.LittleEndian, &fileCRC); err != nil || fileCRC != sum.Sum32() {
+		return nil
+	}
+	rec.st = stateDone
+	rec.halted = halted
+	return rec
+}
+
+func readChunk(r io.Reader, get func() (uint64, error)) (*chunk, error) {
+	c := &chunk{}
+	var err error
+	if c.baseSeq, err = get(); err != nil {
+		return nil, err
+	}
+	if c.basePC, err = get(); err != nil {
+		return nil, err
+	}
+	n, err := get()
+	if err != nil || n > chunkRecords {
+		return nil, fmt.Errorf("trace spill: bad chunk size")
+	}
+	c.n = int(n)
+	ni, err := get()
+	if err != nil || ni != n {
+		return nil, fmt.Errorf("trace spill: inst column mismatch")
+	}
+	c.insts = make([]isa.Instruction, ni)
+	var raw [8]byte
+	regOK := func(b byte) bool { return isa.Reg(b).Valid() || isa.Reg(b) == isa.RegNone }
+	for i := range c.insts {
+		if _, err := io.ReadFull(r, raw[:]); err != nil {
+			return nil, err
+		}
+		if !isa.Op(raw[0]).Valid() || !regOK(raw[1]) || !regOK(raw[2]) || !regOK(raw[3]) {
+			return nil, fmt.Errorf("trace spill: invalid instruction encoding")
+		}
+		c.insts[i] = isa.Instruction{
+			Op:  isa.Op(raw[0]),
+			Rd:  isa.Reg(raw[1]),
+			Rs1: isa.Reg(raw[2]),
+			Rs2: isa.Reg(raw[3]),
+			Imm: int32(binary.LittleEndian.Uint32(raw[4:])),
+		}
+	}
+	readBlob := func(max uint64) ([]byte, error) {
+		ln, err := get()
+		if err != nil || ln > max {
+			return nil, fmt.Errorf("trace spill: bad column length")
+		}
+		b := make([]byte, ln)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	if c.taken, err = readBlob(chunkRecords); err != nil {
+		return nil, err
+	}
+	if c.addrs, err = readBlob(10 * chunkRecords); err != nil {
+		return nil, err
+	}
+	nt, err := get()
+	if err != nil || nt > chunkRecords {
+		return nil, fmt.Errorf("trace spill: bad target count")
+	}
+	c.targets = make([]uint64, nt)
+	for i := range c.targets {
+		if c.targets[i], err = get(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
