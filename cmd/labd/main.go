@@ -14,7 +14,15 @@
 //	   "MaxInstructions":300000}]}'
 //	curl -s 'localhost:8080/v1/frontier?ilp=1,6&fe=0,50,100&n=20000'
 //
-// See DESIGN.md for the protocol.
+// As one worker of a labcoord cluster, give each process its own shard of
+// a shared store root:
+//
+//	labd -addr 127.0.0.1:8081 -store /srv/flywheel -shard 0
+//	labd -addr 127.0.0.1:8082 -store /srv/flywheel -shard 1
+//
+// SIGINT/SIGTERM drain gracefully: in-flight sweeps finish streaming
+// (bounded by -drain) before the process exits. See DESIGN.md for the
+// protocol.
 package main
 
 import (
@@ -22,9 +30,9 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"flywheel/internal/lab"
 	"flywheel/internal/lab/store"
@@ -37,10 +45,11 @@ func main() {
 }
 
 // control lets tests observe the bound address and stop the server; both
-// channels may be nil.
+// channels may be nil. Closing stop triggers the same graceful drain as
+// SIGTERM.
 type control struct {
 	ready chan<- string   // receives the bound address once listening
-	stop  <-chan struct{} // closing it shuts the server down
+	stop  <-chan struct{} // closing it shuts the server down gracefully
 }
 
 // run is the whole command, factored out of main so tests can drive it.
@@ -50,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer, ctl *control) int {
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 		storeDir = fs.String("store", "", "persistent result-store directory (empty = memory only; results die with the process)")
+		shard    = fs.Int("shard", -1, "shard index: open <store>/shard-<n> instead of <store> (requires -store; for labcoord clusters)")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,18 +69,27 @@ func run(args []string, stdout, stderr io.Writer, ctl *control) int {
 		fmt.Fprintf(stderr, "labd: unexpected arguments %v\n", fs.Args())
 		return 2
 	}
+	if *shard >= 0 && *storeDir == "" {
+		fmt.Fprintln(stderr, "labd: -shard requires -store")
+		return 2
+	}
 
 	cache := lab.NewCache()
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		dir := *storeDir
+		if *shard >= 0 {
+			dir = store.ShardDir(dir, *shard)
+		}
+		st, err := store.Open(dir)
 		if err != nil {
 			fmt.Fprintln(stderr, "labd:", err)
 			return 1
 		}
 		cache = lab.NewCacheWithStore(st)
 		// Persist recorded dynamic traces next to the results: a restarted
-		// service replays from disk without re-emulating anything.
-		sim.SetTraceSpillDir(filepath.Join(*storeDir, "traces"))
+		// service replays from disk without re-emulating anything. Sharded
+		// workers spill under their own shard directory.
+		sim.SetTraceSpillDir(filepath.Join(dir, "traces"))
 		fmt.Fprintf(stdout, "labd: store %s (version %s)\n", st.Dir(), store.Version())
 	}
 
@@ -83,16 +103,19 @@ func run(args []string, stdout, stderr io.Writer, ctl *control) int {
 		ctl.ready <- ln.Addr().String()
 	}
 
-	srv := &http.Server{Handler: labd.NewServer(cache).Handler()}
-	if ctl != nil && ctl.stop != nil {
-		go func() {
-			<-ctl.stop
-			srv.Close()
-		}()
+	service := labd.NewServer(cache)
+	service.SetLogf(func(format string, args ...any) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+	})
+	srv := labd.NewHTTPServer(service.Handler())
+	var stop <-chan struct{}
+	if ctl != nil {
+		stop = ctl.stop
 	}
-	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+	if err := labd.ServeGracefully(srv, ln, stop, *drain); err != nil {
 		fmt.Fprintln(stderr, "labd:", err)
 		return 1
 	}
+	fmt.Fprintln(stdout, "labd: drained, bye")
 	return 0
 }

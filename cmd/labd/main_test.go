@@ -1,16 +1,21 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
 
-// startLabd runs the command against port 0 and returns its base URL and a
-// stopper.
-func startLabd(t *testing.T, extra ...string) string {
+// startLabd runs the command against port 0 and returns its base URL plus
+// a stop func (idempotent) that triggers the graceful drain and waits for
+// exit, reporting the exit code.
+func startLabd(t *testing.T, extra ...string) (string, func() int) {
 	t.Helper()
 	ready := make(chan string, 1)
 	stop := make(chan struct{})
@@ -28,19 +33,25 @@ func startLabd(t *testing.T, extra ...string) string {
 	case <-time.After(10 * time.Second):
 		t.Fatal("labd never became ready")
 	}
-	t.Cleanup(func() {
-		close(stop)
-		select {
-		case <-exited:
-		case <-time.After(10 * time.Second):
-			t.Error("labd did not shut down")
-		}
-	})
-	return "http://" + addr
+	var once sync.Once
+	code := -1
+	stopper := func() int {
+		once.Do(func() {
+			close(stop)
+			select {
+			case code = <-exited:
+			case <-time.After(30 * time.Second):
+				t.Error("labd did not shut down")
+			}
+		})
+		return code
+	}
+	t.Cleanup(func() { stopper() })
+	return "http://" + addr, stopper
 }
 
 func TestServesStats(t *testing.T) {
-	base := startLabd(t, "-store", t.TempDir())
+	base, _ := startLabd(t, "-store", t.TempDir())
 	resp, err := http.Get(base + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +63,7 @@ func TestServesStats(t *testing.T) {
 }
 
 func TestServesSweep(t *testing.T) {
-	base := startLabd(t)
+	base, _ := startLabd(t)
 	body := `{"jobs":[{"Workload":"ijpeg","Arch":0,"MaxInstructions":2000}]}`
 	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
 	if err != nil {
@@ -71,10 +82,90 @@ func TestServesSweep(t *testing.T) {
 	}
 }
 
+// TestShutdownDrainsInFlightSweep: a shutdown request arriving mid-sweep
+// must not cut the NDJSON stream — the response runs to completion (all
+// lines, all results) and only then does the process exit, cleanly.
+func TestShutdownDrainsInFlightSweep(t *testing.T) {
+	base, stop := startLabd(t)
+
+	const jobs = 8
+	var sb strings.Builder
+	sb.WriteString(`{"workers":1,"jobs":[`)
+	for i := 0; i < jobs; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"Workload":"ijpeg","Arch":1,"FEBoostPct":` +
+			string(rune('0'+i)) + `,"BEBoostPct":50,"MaxInstructions":30000}`)
+	}
+	sb.WriteString(`]}`)
+
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rd := bufio.NewReader(resp.Body)
+	// One line is streaming; now ask the server to shut down.
+	if _, err := rd.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	shutdownCode := make(chan int, 1)
+	go func() { shutdownCode <- stop() }()
+
+	// The remaining lines must still arrive, complete and well-formed.
+	got := 1
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			break
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if !strings.Contains(line, `"result"`) {
+			t.Fatalf("line %d degraded during drain: %s", got, line)
+		}
+		got++
+	}
+	if got != jobs {
+		t.Fatalf("stream cut by shutdown: %d of %d lines", got, jobs)
+	}
+	if code := <-shutdownCode; code != 0 {
+		t.Fatalf("drained shutdown exited %d, want 0", code)
+	}
+	// The listener is really gone.
+	if _, err := http.Get(base + "/v1/stats"); err == nil {
+		t.Fatal("server still serving after shutdown")
+	}
+}
+
+// TestShardFlag: -shard opens <store>/shard-<n>, giving each cluster
+// worker a disjoint store and trace-spill directory.
+func TestShardFlag(t *testing.T) {
+	root := t.TempDir()
+	base, stop := startLabd(t, "-store", root, "-shard", "2")
+	body := `{"jobs":[{"Workload":"ijpeg","Arch":0,"MaxInstructions":2000}]}`
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	stop()
+	entries, err := os.ReadDir(filepath.Join(root, "shard-002"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("shard directory not populated: %v (entries %d)", err, len(entries))
+	}
+	if _, err := os.Stat(filepath.Join(root, "shard-000")); err == nil {
+		t.Fatal("wrong shard directory created")
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-definitely-not-a-flag"},
 		{"stray-positional"},
+		{"-shard", "0"}, // -shard without -store
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flywheel/internal/lab"
+	"flywheel/internal/labd"
+)
+
+func startWorker(t *testing.T) string {
+	t.Helper()
+	srv := labd.NewServer(lab.NewCache())
+	srv.SetLogf(t.Logf)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestLoadReport: a short replay against a live worker exits 0 and prints
+// the three report lines — throughput, latency percentiles, tier split.
+func TestLoadReport(t *testing.T) {
+	url := startWorker(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-url", url, "-n", "12", "-c", "3", "-batch", "2",
+		"-space", "8", "-frontier", "0.25", "-ninstr", "2000",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"12 requests", "0 errors", "latency: p50", "p99", "cache tiers:", "sim "} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+
+	// After the whole universe is memoized, a replay simulates nothing —
+	// the tier report shows it all served from cache.
+	if _, err := labd.NewClient(url).Sweep(labd.SweepRequest{Jobs: buildUniverse(8, 2000)}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{
+		"-url", url, "-n", "12", "-c", "3", "-batch", "2",
+		"-space", "8", "-frontier", "0", "-ninstr", "2000",
+	}, &out, &errb); code != 0 {
+		t.Fatalf("warm replay failed: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "memory 100.0%") || !strings.Contains(out.String(), "sim 0.0%") {
+		t.Errorf("warm replay not served from memory:\n%s", out.String())
+	}
+}
+
+func TestUnreachableTarget(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-url", "http://127.0.0.1:1", "-n", "1"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unreachable") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-c", "0"},
+		{"-zipf", "0.5"},
+		{"-frontier", "2"},
+		{"-bogus"},
+		{"stray"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: exit code %d, want 2", args, code)
+		}
+	}
+}

@@ -1,0 +1,451 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flywheel/internal/lab"
+	"flywheel/internal/labd"
+)
+
+// ErrBusy is returned by Sweep when the pending-job cap would be
+// exceeded; the HTTP layer translates it to 503 + Retry-After.
+var ErrBusy = errors.New("fabric: at capacity, retry later")
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers are the labd base URLs forming the cluster. Required.
+	Workers []string
+	// Replicas is how many ring owners each key gets — the failover and
+	// hedging width. Zero defaults to 2 (clamped to the worker count).
+	Replicas int
+	// VNodes is the consistent-hash virtual-node count per worker; zero
+	// defaults to 64.
+	VNodes int
+	// MaxInFlightPerShard bounds concurrent requests to one worker, across
+	// every sweep the coordinator is serving. Zero defaults to 4.
+	MaxInFlightPerShard int
+	// MaxPending bounds the coordinator's admitted-but-unfinished job
+	// count; a sweep that would exceed it (while others are in flight) is
+	// rejected with 503 + Retry-After. Zero defaults to 16384.
+	MaxPending int
+	// RetryBackoff is the base delay before retrying a failed shard
+	// request on the next replica (grows linearly per attempt). Zero
+	// defaults to 50ms.
+	RetryBackoff time.Duration
+	// HedgeDelayMin floors the hedging trigger: a job is duplicated to the
+	// next replica when its shard has not answered within
+	// max(HedgeDelayMin, shard p99). Zero defaults to 250ms.
+	HedgeDelayMin time.Duration
+	// DisableHedging turns speculative duplicates off (retry still works).
+	DisableHedging bool
+	// HTTPClient is used for all worker traffic; nil uses
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() error {
+	if len(o.Workers) == 0 {
+		return fmt.Errorf("fabric: no workers")
+	}
+	seen := map[string]bool{}
+	for _, w := range o.Workers {
+		if w == "" || seen[w] {
+			return fmt.Errorf("fabric: empty or duplicate worker %q", w)
+		}
+		seen[w] = true
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Replicas > len(o.Workers) {
+		o.Replicas = len(o.Workers)
+	}
+	if o.MaxInFlightPerShard <= 0 {
+		o.MaxInFlightPerShard = 4
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 16384
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.HedgeDelayMin <= 0 {
+		o.HedgeDelayMin = 250 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// shard is the coordinator's view of one worker: its client, its global
+// in-flight bound, and a window of recent request latencies for the
+// hedging trigger.
+type shard struct {
+	url    string
+	client *labd.Client
+	sem    chan struct{}
+
+	requests atomic.Uint64
+	failures atomic.Uint64
+
+	mu   sync.Mutex
+	lats [128]time.Duration
+	n    int // filled entries
+	next int // ring-buffer cursor
+}
+
+func (s *shard) observe(d time.Duration) {
+	s.mu.Lock()
+	s.lats[s.next] = d
+	s.next = (s.next + 1) % len(s.lats)
+	if s.n < len(s.lats) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// p99 returns the 99th-percentile latency of the recent window, or zero
+// with no samples.
+func (s *shard) p99() time.Duration {
+	s.mu.Lock()
+	buf := make([]time.Duration, s.n)
+	copy(buf, s.lats[:s.n])
+	s.mu.Unlock()
+	if len(buf) == 0 {
+		return 0
+	}
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	return buf[(len(buf)*99)/100]
+}
+
+// Coordinator fans sweeps across the cluster. It is safe for concurrent
+// use; per-shard in-flight bounds and the pending-job cap are shared by
+// all requests it is serving.
+type Coordinator struct {
+	opt    Options
+	ring   *Ring
+	order  []string
+	shards map[string]*shard
+	start  time.Time
+
+	pending atomic.Int64
+
+	requests atomic.Uint64
+	jobs     atomic.Uint64
+	retries  atomic.Uint64
+	hedges   atomic.Uint64
+	steals   atomic.Uint64
+	rejected atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// New builds a coordinator over the given workers. It does not contact
+// them — call CheckWorkers to gate startup on cluster health.
+func New(opt Options) (*Coordinator, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		opt:    opt,
+		ring:   NewRing(opt.Workers, opt.VNodes),
+		order:  append([]string(nil), opt.Workers...),
+		shards: make(map[string]*shard, len(opt.Workers)),
+		start:  time.Now(),
+	}
+	for _, url := range c.order {
+		cl := labd.NewClient(url)
+		cl.HTTPClient = opt.HTTPClient
+		c.shards[url] = &shard{
+			url:    url,
+			client: cl,
+			sem:    make(chan struct{}, opt.MaxInFlightPerShard),
+		}
+	}
+	return c, nil
+}
+
+// Owner reports which worker a job key primarily lands on (its shard
+// store's home). Exposed for tests and ops tooling.
+func (c *Coordinator) Owner(key string) string { return c.ring.Owner(key) }
+
+// Pending reports the coordinator's admitted-but-unfinished job count.
+func (c *Coordinator) Pending() int64 { return c.pending.Load() }
+
+// CheckWorkers probes every worker's /v1/health and returns an error
+// naming the unreachable ones — the cluster's registration gate.
+func (c *Coordinator) CheckWorkers(ctx context.Context) error {
+	var bad []string
+	for _, url := range c.order {
+		hctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		h, err := c.shards[url].client.Health(hctx)
+		cancel()
+		if err != nil || h.Status != "ok" {
+			bad = append(bad, url)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("fabric: %d of %d workers unhealthy: %v", len(bad), len(c.order), bad)
+	}
+	return nil
+}
+
+// queueSet holds each shard's FIFO of job indexes for one sweep. Owners
+// pop from the head of their own queue; an idle shard steals from the tail
+// of the longest other queue, so a skewed grid (every job hashing to one
+// worker) still saturates the cluster.
+type queueSet struct {
+	mu    sync.Mutex
+	q     map[string][]int
+	order []string
+}
+
+func newQueueSet(order []string) *queueSet {
+	return &queueSet{q: make(map[string][]int, len(order)), order: order}
+}
+
+func (qs *queueSet) push(owner string, idx int) {
+	qs.mu.Lock()
+	qs.q[owner] = append(qs.q[owner], idx)
+	qs.mu.Unlock()
+}
+
+func (qs *queueSet) pop(own string) (idx int, stolen, ok bool) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if q := qs.q[own]; len(q) > 0 {
+		qs.q[own] = q[1:]
+		return q[0], false, true
+	}
+	best, bestLen := "", 0
+	for _, n := range qs.order {
+		if n != own && len(qs.q[n]) > bestLen {
+			best, bestLen = n, len(qs.q[n])
+		}
+	}
+	if bestLen == 0 {
+		return 0, false, false
+	}
+	q := qs.q[best]
+	qs.q[best] = q[:len(q)-1]
+	return q[len(q)-1], true, true
+}
+
+// Sweep runs the batch across the cluster and emits one SweepLine per job
+// strictly in job order (the merged stream). emit returning an error
+// aborts the sweep; jobs already started on workers complete there and
+// warm their shard stores. Job-level failures travel in the lines, like
+// labd's own protocol.
+func (c *Coordinator) Sweep(ctx context.Context, jobs []lab.Job, emit func(labd.SweepLine) error) error {
+	if !c.admit(len(jobs)) {
+		return ErrBusy
+	}
+	c.requests.Add(1)
+	c.jobs.Add(uint64(len(jobs)))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	queues := newQueueSet(c.order)
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		keys[i] = j.Key()
+		queues.push(c.ring.Owner(keys[i]), i)
+	}
+
+	ready := make([]chan labd.SweepLine, len(jobs))
+	for i := range ready {
+		ready[i] = make(chan labd.SweepLine, 1)
+	}
+
+	var wg sync.WaitGroup
+	for _, name := range c.order {
+		sh := c.shards[name]
+		for k := 0; k < c.opt.MaxInFlightPerShard; k++ {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				for {
+					i, stolen, ok := queues.pop(sh.url)
+					if !ok {
+						return
+					}
+					if stolen {
+						c.steals.Add(1)
+					}
+					line := c.runJob(runCtx, sh, jobs[i], keys[i])
+					line.Index = i
+					line.Key = keys[i]
+					ready[i] <- line
+					c.pending.Add(-1)
+				}
+			}(sh)
+		}
+	}
+	defer wg.Wait()
+
+	for i := range jobs {
+		var line labd.SweepLine
+		select {
+		case line = <-ready[i]:
+		case <-ctx.Done():
+			c.dropped.Add(1)
+			return ctx.Err()
+		}
+		if err := emit(line); err != nil {
+			c.dropped.Add(1)
+			return err
+		}
+	}
+	return nil
+}
+
+// runJob executes one job with the full failure policy: try the executing
+// shard, hedge to the next candidate when the shard's p99 says it is
+// running long, and retry with backoff on transport failure. Job-level
+// errors from a worker are terminal (retrying a deterministic failure
+// elsewhere reproduces it). The first successful answer wins; straggling
+// duplicates are canceled.
+func (c *Coordinator) runJob(ctx context.Context, execer *shard, job lab.Job, key string) labd.SweepLine {
+	cands := c.candidates(execer, key)
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel() // reels in hedged stragglers
+
+	type attempt struct {
+		line labd.SweepLine
+		err  error
+	}
+	results := make(chan attempt, len(cands))
+	next, inflight := 0, 0
+	launch := func() {
+		sh := cands[next]
+		next++
+		inflight++
+		go func() {
+			line, err := c.oneRequest(actx, sh, job)
+			results <- attempt{line, err}
+		}()
+	}
+	launch()
+
+	hedge := time.NewTimer(c.hedgeDelay(execer))
+	defer hedge.Stop()
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return labd.SweepLine{Error: ctx.Err().Error()}
+		case <-hedge.C:
+			if !c.opt.DisableHedging && next < len(cands) {
+				c.hedges.Add(1)
+				launch()
+			}
+		case a := <-results:
+			inflight--
+			if a.err == nil {
+				return a.line
+			}
+			lastErr = a.err
+			if next < len(cands) {
+				c.retries.Add(1)
+				if !sleepCtx(ctx, time.Duration(next)*c.opt.RetryBackoff) {
+					return labd.SweepLine{Error: ctx.Err().Error()}
+				}
+				launch()
+			} else if inflight == 0 {
+				return labd.SweepLine{Error: lastErr.Error()}
+			}
+		}
+	}
+}
+
+// candidates orders the shards a job may run on: the shard that dequeued
+// it first (cache-warm for owners, already-idle for stealers), then the
+// ring owners it is not, so failover lands on the replicas that may
+// already hold the result on disk.
+func (c *Coordinator) candidates(execer *shard, key string) []*shard {
+	cands := []*shard{execer}
+	for _, url := range c.ring.Owners(key, c.opt.Replicas) {
+		if url != execer.url {
+			cands = append(cands, c.shards[url])
+		}
+	}
+	return cands
+}
+
+func (c *Coordinator) hedgeDelay(sh *shard) time.Duration {
+	if d := sh.p99(); d > c.opt.HedgeDelayMin {
+		return d
+	}
+	return c.opt.HedgeDelayMin
+}
+
+// oneRequest performs a single bounded job request against one shard.
+// The error return is nil for anything terminal (including a job-level
+// failure, which travels in the line) and non-nil only for retryable
+// transport trouble.
+func (c *Coordinator) oneRequest(ctx context.Context, sh *shard, job lab.Job) (labd.SweepLine, error) {
+	select {
+	case sh.sem <- struct{}{}:
+	case <-ctx.Done():
+		return labd.SweepLine{}, ctx.Err()
+	}
+	defer func() { <-sh.sem }()
+
+	start := time.Now()
+	lines, err := sh.client.SweepContext(ctx, labd.SweepRequest{Jobs: []lab.Job{job}})
+	sh.observe(time.Since(start))
+	sh.requests.Add(1)
+	if len(lines) == 1 {
+		// Complete reply; a job-level error rides in the line and is
+		// terminal — the simulation is deterministic, so another shard
+		// would fail identically.
+		return lines[0], nil
+	}
+	if err == nil {
+		err = fmt.Errorf("fabric: %s returned %d lines for 1 job", sh.url, len(lines))
+	}
+	sh.failures.Add(1)
+	c.opt.Logf("fabric: %s: %v", sh.url, err)
+	return labd.SweepLine{}, fmt.Errorf("fabric: %s: %w", sh.url, err)
+}
+
+// sleepCtx sleeps d or until ctx ends; it reports whether the full sleep
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// admit reserves n job slots, enforcing the pending cap. A lone oversized
+// batch on an idle coordinator is admitted (MaxBatch still bounds it);
+// load shedding only kicks in when other work is in flight.
+func (c *Coordinator) admit(n int) bool {
+	for {
+		cur := c.pending.Load()
+		if cur > 0 && cur+int64(n) > int64(c.opt.MaxPending) {
+			c.rejected.Add(1)
+			return false
+		}
+		if c.pending.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
+}

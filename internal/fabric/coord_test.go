@@ -1,0 +1,454 @@
+package fabric
+
+// Cluster end-to-end tests: the fabric must return byte-identical
+// job-ordered results to an in-process lab run — including with a worker
+// killed mid-sweep — steal work from skewed shards, shed load with 503,
+// and aggregate stats.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flywheel/internal/lab"
+	"flywheel/internal/labd"
+	"flywheel/internal/sim"
+)
+
+// testCluster is n in-process labd workers plus a coordinator over them.
+type testCluster struct {
+	coord   *Coordinator
+	workers []*httptest.Server
+	caches  []*lab.Cache
+	urls    []string
+}
+
+func startCluster(t *testing.T, n int, tweak func(*Options)) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < n; i++ {
+		cache := lab.NewCache()
+		srv := labd.NewServer(cache)
+		srv.SetLogf(func(string, ...any) {}) // worker noise is expected in kill tests
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		tc.workers = append(tc.workers, ts)
+		tc.caches = append(tc.caches, cache)
+		tc.urls = append(tc.urls, ts.URL)
+	}
+	opt := Options{
+		Workers:       tc.urls,
+		RetryBackoff:  5 * time.Millisecond,
+		HedgeDelayMin: 100 * time.Millisecond,
+		Logf:          t.Logf,
+	}
+	if tweak != nil {
+		tweak(&opt)
+	}
+	coord, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.coord = coord
+	return tc
+}
+
+// kill makes worker i unreachable: no new connections, in-flight ones cut.
+func (tc *testCluster) kill(i int) {
+	tc.workers[i].Listener.Close()
+	tc.workers[i].CloseClientConnections()
+}
+
+func testBatch(n int) []lab.Job {
+	jobs := make([]lab.Job, 0, n)
+	for i := 0; len(jobs) < n; i++ {
+		jobs = append(jobs, lab.Job{
+			Workload: []string{"ijpeg", "gcc"}[i%2], Arch: sim.ArchFlywheel,
+			FEBoostPct: (i / 2) * 2, BEBoostPct: 50, MaxInstructions: 20000,
+		})
+	}
+	return jobs
+}
+
+// collectSweep runs a sweep through the coordinator and returns the lines.
+func collectSweep(t *testing.T, c *Coordinator, jobs []lab.Job, mid func(i int)) []labd.SweepLine {
+	t.Helper()
+	var lines []labd.SweepLine
+	err := c.Sweep(context.Background(), jobs, func(l labd.SweepLine) error {
+		lines = append(lines, l)
+		if mid != nil {
+			mid(len(lines))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	return lines
+}
+
+func assertMatchesInProcess(t *testing.T, jobs []lab.Job, lines []labd.SweepLine) {
+	t.Helper()
+	want, err := lab.Run(jobs, lab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(jobs) {
+		t.Fatalf("%d lines for %d jobs", len(lines), len(jobs))
+	}
+	for i, line := range lines {
+		if line.Index != i || line.Key != jobs[i].Key() {
+			t.Fatalf("line %d misordered or mislabeled: index %d key %q", i, line.Index, line.Key)
+		}
+		if line.Error != "" {
+			t.Fatalf("job %d failed: %s", i, line.Error)
+		}
+		got, _ := json.Marshal(line.Result)
+		exp, _ := json.Marshal(want[i])
+		if string(got) != string(exp) {
+			t.Fatalf("job %d: cluster result differs from in-process run:\n cluster %s\n local   %s", i, got, exp)
+		}
+	}
+}
+
+// TestClusterMatchesInProcess: a 3-worker fabric answers a mixed batch
+// (with duplicates) byte-identically to lab.Run, through the full HTTP
+// protocol via the standard labd client.
+func TestClusterMatchesInProcess(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	ts := httptest.NewServer(tc.coord.Handler())
+	t.Cleanup(ts.Close)
+
+	jobs := testBatch(18)
+	jobs = append(jobs, jobs[0], jobs[3]) // duplicates dedupe on their shard
+	client := labd.NewClient(ts.URL)
+	lines, err := client.Sweep(labd.SweepRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesInProcess(t, jobs, lines)
+
+	// The batch actually spread: more than one worker simulated.
+	busy := 0
+	for _, cache := range tc.caches {
+		if cache.Misses() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("no fan-out: %d workers busy", busy)
+	}
+}
+
+// TestClusterSurvivesWorkerKill: killing one of three workers mid-sweep
+// exercises the retry/failover path; the merged stream still matches the
+// in-process run line for line.
+func TestClusterSurvivesWorkerKill(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	jobs := testBatch(36)
+	killed := false
+	lines := collectSweep(t, tc.coord, jobs, func(done int) {
+		if done == 5 && !killed {
+			killed = true
+			tc.kill(1)
+		}
+	})
+	assertMatchesInProcess(t, jobs, lines)
+	if !killed {
+		t.Fatal("kill hook never fired")
+	}
+	if tc.coord.retries.Load() == 0 {
+		t.Fatal("worker death exercised no retries")
+	}
+}
+
+// TestClusterAllReplicasOfDeadWorkerStillAnswer: killing a worker BEFORE
+// the sweep starts (cold failure) must also produce a full, correct
+// stream via failover.
+func TestClusterColdDeadWorker(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	tc.kill(2)
+	jobs := testBatch(12)
+	lines := collectSweep(t, tc.coord, jobs, nil)
+	assertMatchesInProcess(t, jobs, lines)
+}
+
+// TestWorkStealing: a batch whose every key hashes to one worker still
+// saturates the cluster — the idle shard steals from the skewed queue.
+func TestWorkStealing(t *testing.T) {
+	tc := startCluster(t, 2, func(o *Options) {
+		o.MaxInFlightPerShard = 1
+		o.DisableHedging = true
+	})
+	home := tc.urls[0]
+	var jobs []lab.Job
+	for fe := 0; len(jobs) < 12 && fe < 200; fe++ {
+		j := lab.Job{Workload: "ijpeg", Arch: sim.ArchFlywheel, FEBoostPct: fe, BEBoostPct: 50, MaxInstructions: 20000}
+		if tc.coord.Owner(j.Key()) == home {
+			jobs = append(jobs, j)
+		}
+	}
+	if len(jobs) < 12 {
+		t.Fatalf("could not craft a skewed batch: %d jobs", len(jobs))
+	}
+	lines := collectSweep(t, tc.coord, jobs, nil)
+	assertMatchesInProcess(t, jobs, lines)
+	if tc.coord.steals.Load() == 0 {
+		t.Fatal("skewed batch triggered no work stealing")
+	}
+	if tc.coord.shards[tc.urls[1]].requests.Load() == 0 {
+		t.Fatal("idle worker received no stolen jobs")
+	}
+}
+
+// TestBackpressure503: when the pending cap is hit, /v1/sweep sheds load
+// with 503 + Retry-After instead of queueing unboundedly; once drained,
+// the same request succeeds.
+func TestBackpressure503(t *testing.T) {
+	tc := startCluster(t, 1, func(o *Options) {
+		o.MaxInFlightPerShard = 1
+		o.MaxPending = 4
+	})
+	ts := httptest.NewServer(tc.coord.Handler())
+	t.Cleanup(ts.Close)
+
+	// A lone batch larger than the cap is admitted (idle coordinator).
+	big := testBatch(6)
+	done := make(chan error, 1)
+	go func() {
+		_, err := labd.NewClient(ts.URL).Sweep(labd.SweepRequest{Jobs: big})
+		done <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for tc.coord.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first sweep never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A second request while the first is in flight is shed.
+	body := `{"jobs":[{"Workload":"ijpeg","MaxInstructions":2000}]}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded sweep: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if tc.coord.rejected.Load() == 0 {
+		t.Fatal("rejection not counted")
+	}
+	// The typed client tags it.
+	_, err = labd.NewClient(ts.URL).Sweep(labd.SweepRequest{Jobs: big[:1]})
+	if !labd.IsBackpressure(err) {
+		t.Fatalf("client did not tag 503 as backpressure: %v", err)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("admitted sweep failed: %v", err)
+	}
+	// Drained: the retried request now succeeds.
+	if _, err := labd.NewClient(ts.URL).Sweep(labd.SweepRequest{Jobs: big[:1]}); err != nil {
+		t.Fatalf("post-drain retry failed: %v", err)
+	}
+}
+
+// TestHedging: a worker that sits on a request past the hedge trigger gets
+// speculatively duplicated to the replica; the fast answer wins.
+func TestHedging(t *testing.T) {
+	slowCache := lab.NewCache()
+	slowSrv := labd.NewServer(slowCache)
+	slowSrv.SetLogf(func(string, ...any) {})
+	inner := slowSrv.Handler()
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/sweep") {
+			time.Sleep(2 * time.Second) // stall every sweep
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(slow.Close)
+
+	fastCache := lab.NewCache()
+	fastSrv := labd.NewServer(fastCache)
+	fast := httptest.NewServer(fastSrv.Handler())
+	t.Cleanup(fast.Close)
+
+	coord, err := New(Options{
+		Workers:       []string{slow.URL, fast.URL},
+		HedgeDelayMin: 50 * time.Millisecond,
+		RetryBackoff:  5 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Craft jobs homed on the slow worker so the hedge must rescue them.
+	var jobs []lab.Job
+	for fe := 0; len(jobs) < 4 && fe < 200; fe++ {
+		j := lab.Job{Workload: "gcc", FEBoostPct: fe, MaxInstructions: 2000}
+		if coord.Owner(j.Key()) == slow.URL {
+			jobs = append(jobs, j)
+		}
+	}
+	start := time.Now()
+	lines := collectSweep(t, coord, jobs, nil)
+	assertMatchesInProcess(t, jobs, lines)
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Fatalf("hedging did not rescue the sweep: took %v", elapsed)
+	}
+	if coord.hedges.Load() == 0 {
+		t.Fatal("no hedged requests fired")
+	}
+	if fastCache.Misses() == 0 {
+		t.Fatal("replica did no rescue work")
+	}
+}
+
+// TestClusterStatsAndHealth: /v1/stats sums worker cache tiers and
+// /v1/health degrades when a worker dies.
+func TestClusterStatsAndHealth(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	ts := httptest.NewServer(tc.coord.Handler())
+	t.Cleanup(ts.Close)
+
+	jobs := testBatch(8)
+	if _, err := labd.NewClient(ts.URL).Sweep(labd.SweepRequest{Jobs: jobs}); err != nil {
+		t.Fatal(err)
+	}
+	var stats ClusterStats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	var wantMisses uint64
+	for _, cache := range tc.caches {
+		wantMisses += cache.Misses()
+	}
+	if stats.Cache.Misses != wantMisses {
+		t.Fatalf("aggregated misses %d, want %d", stats.Cache.Misses, wantMisses)
+	}
+	if stats.Coord.Jobs != uint64(len(jobs)) || len(stats.Workers) != 2 {
+		t.Fatalf("coord stats: %+v", stats.Coord)
+	}
+
+	var health ClusterHealth
+	resp2, err := http.Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("healthy cluster reports %q", health.Status)
+	}
+	tc.kill(1)
+	resp3, err := http.Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	health = ClusterHealth{}
+	if err := json.NewDecoder(resp3.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.Workers[tc.urls[1]] {
+		t.Fatalf("dead worker not detected: %+v", health)
+	}
+}
+
+// TestFrontierForwarding: the coordinator proxies Pareto queries to a
+// worker; the reply matches querying that worker directly and repeat
+// queries stay deterministic.
+func TestFrontierForwarding(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	ts := httptest.NewServer(tc.coord.Handler())
+	t.Cleanup(ts.Close)
+
+	params := map[string]string{
+		"ilp": "1", "entropy": "0", "mem": "4", "code": "1",
+		"passes": "1", "fe": "0,50", "n": "2000",
+	}
+	reply, err := labd.NewClient(ts.URL).Frontier(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.GridPoints != 2 || len(reply.Frontier) == 0 {
+		t.Fatalf("frontier reply: %+v", reply)
+	}
+	again, err := labd.NewClient(ts.URL).Frontier(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(reply)
+	b, _ := json.Marshal(again)
+	if string(a) != string(b) {
+		t.Fatalf("frontier not deterministic through the fabric:\n%s\n%s", a, b)
+	}
+	// Bad queries pass the worker's 400 through.
+	resp, err := http.Get(ts.URL + "/v1/frontier?seed=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCheckWorkers: the registration gate names unreachable workers.
+func TestCheckWorkers(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	if err := tc.coord.CheckWorkers(context.Background()); err != nil {
+		t.Fatalf("healthy cluster failed registration: %v", err)
+	}
+	tc.kill(0)
+	err := tc.coord.CheckWorkers(context.Background())
+	if err == nil || !strings.Contains(err.Error(), tc.urls[0]) {
+		t.Fatalf("dead worker not named: %v", err)
+	}
+}
+
+// TestSweepBadRequests mirrors labd's request validation at the
+// coordinator.
+func TestCoordinatorBadRequests(t *testing.T) {
+	tc := startCluster(t, 1, nil)
+	ts := httptest.NewServer(tc.coord.Handler())
+	t.Cleanup(ts.Close)
+	for _, body := range []string{``, `{}`, `{"jobs":[]}`, `not json`, `{"jobs":[{}], "bogus": 1}`} {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("no workers accepted")
+	}
+	if _, err := New(Options{Workers: []string{"http://a", "http://a"}}); err == nil {
+		t.Error("duplicate workers accepted")
+	}
+	if _, err := New(Options{Workers: []string{"http://a", ""}}); err == nil {
+		t.Error("empty worker accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"flywheel/internal/lab"
+	"flywheel/internal/labd"
+)
+
+// The coordinator speaks the same protocol as a single labd — /v1/sweep,
+// /v1/stats, /v1/frontier, /v1/health — so every existing client
+// (labd.Client, flywheel.NewClient, curl scripts) points at a cluster
+// unchanged.
+
+// WorkerStats is one worker's slice of the cluster stats.
+type WorkerStats struct {
+	URL      string  `json:"url"`
+	Requests uint64  `json:"requests"`
+	Failures uint64  `json:"failures"`
+	P99Ms    float64 `json:"p99_ms"`
+	// Stats is the worker's own /v1/stats reply; Error is set instead when
+	// the worker was unreachable.
+	Stats *labd.StatsReply `json:"stats,omitempty"`
+	Error string           `json:"error,omitempty"`
+}
+
+// CoordStats are the coordinator's own counters.
+type CoordStats struct {
+	Requests       uint64 `json:"requests"`
+	Jobs           uint64 `json:"jobs"`
+	Retries        uint64 `json:"retries"`
+	Hedges         uint64 `json:"hedges"`
+	Steals         uint64 `json:"steals"`
+	Rejected       uint64 `json:"rejected"`
+	DroppedReplies uint64 `json:"dropped_replies"`
+	Pending        int64  `json:"pending"`
+}
+
+// ClusterStats is the coordinator's /v1/stats body. Cache sums the
+// workers' run-cache counters, so clients (labload) compute cluster-wide
+// memory/disk/sim tier hit rates the same way they would for one labd.
+type ClusterStats struct {
+	Cache         lab.Stats     `json:"cache"`
+	Coord         CoordStats    `json:"coord"`
+	Workers       []WorkerStats `json:"workers"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+}
+
+// ClusterHealth is the coordinator's /v1/health body.
+type ClusterHealth struct {
+	Status  string          `json:"status"` // "ok" when every worker is; "degraded" when some are
+	Workers map[string]bool `json:"workers"`
+}
+
+// Handler returns the coordinator's HTTP routes.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
+	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	mux.HandleFunc("GET /v1/health", c.handleHealth)
+	mux.HandleFunc("GET /v1/frontier", c.handleFrontier)
+	return mux
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req labd.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "fabric: bad sweep request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		http.Error(w, "fabric: empty job list", http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) > labd.MaxBatch {
+		http.Error(w, fmt.Sprintf("fabric: %d jobs exceeds the %d-job batch limit", len(req.Jobs), labd.MaxBatch), http.StatusBadRequest)
+		return
+	}
+	// req.Workers is a single-process knob; the cluster's concurrency is
+	// governed by the per-shard in-flight bounds instead, so it is
+	// accepted and ignored.
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	headerSent := false
+	emit := func(line labd.SweepLine) error {
+		if !headerSent {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			headerSent = true
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	err := c.Sweep(r.Context(), req.Jobs, emit)
+	if err == ErrBusy {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, ErrBusy.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if err != nil && !headerSent {
+		http.Error(w, "fabric: "+err.Error(), http.StatusInternalServerError)
+	}
+	// Mid-stream failure: the truncated stream is the signal; the client's
+	// decoder rejects it.
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	reply := ClusterStats{
+		Coord: CoordStats{
+			Requests:       c.requests.Load(),
+			Jobs:           c.jobs.Load(),
+			Retries:        c.retries.Load(),
+			Hedges:         c.hedges.Load(),
+			Steals:         c.steals.Load(),
+			Rejected:       c.rejected.Load(),
+			DroppedReplies: c.dropped.Load(),
+			Pending:        c.pending.Load(),
+		},
+		UptimeSeconds: time.Since(c.start).Seconds(),
+	}
+	for _, url := range c.order {
+		sh := c.shards[url]
+		ws := WorkerStats{
+			URL:      url,
+			Requests: sh.requests.Load(),
+			Failures: sh.failures.Load(),
+			P99Ms:    float64(sh.p99()) / float64(time.Millisecond),
+		}
+		st, err := sh.client.StatsContext(r.Context())
+		if err != nil {
+			ws.Error = err.Error()
+		} else {
+			ws.Stats = &st
+			reply.Cache.Hits += st.Cache.Hits
+			reply.Cache.DiskHits += st.Cache.DiskHits
+			reply.Cache.Misses += st.Cache.Misses
+			reply.Cache.InFlight += st.Cache.InFlight
+			reply.Cache.Entries += st.Cache.Entries
+		}
+		reply.Workers = append(reply.Workers, ws)
+	}
+	c.writeJSON(w, reply)
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	reply := ClusterHealth{Status: "ok", Workers: make(map[string]bool, len(c.order))}
+	for _, url := range c.order {
+		h, err := c.shards[url].client.Health(r.Context())
+		ok := err == nil && h.Status == "ok"
+		reply.Workers[url] = ok
+		if !ok {
+			reply.Status = "degraded"
+		}
+	}
+	c.writeJSON(w, reply)
+}
+
+// handleFrontier forwards the Pareto query to one worker chosen by the
+// query's hash — the same query always lands on the same shard, so its
+// grid stays memoized there — failing over to the next owner when the
+// worker is unreachable.
+func (c *Coordinator) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	httpc := c.opt.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var lastErr error
+	for _, url := range c.ring.Owners("frontier|"+r.URL.RawQuery, len(c.order)) {
+		target := url + "/v1/frontier"
+		if r.URL.RawQuery != "" {
+			target += "?" + r.URL.RawQuery
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			lastErr = err
+			c.retries.Add(1)
+			continue
+		}
+		defer resp.Body.Close()
+		// Any complete worker reply — success or a 4xx/5xx of its own — is
+		// forwarded verbatim; only transport failure tries the next owner.
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			c.dropped.Add(1)
+		}
+		return
+	}
+	http.Error(w, fmt.Sprintf("fabric: no worker reachable for frontier: %v", lastErr), http.StatusBadGateway)
+}
+
+func (c *Coordinator) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		c.dropped.Add(1)
+		c.opt.Logf("fabric: reply dropped: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndDistributed(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	r1 := NewRing(nodes, 64)
+	r2 := NewRing([]string{"http://c", "http://a", "http://b"}, 64) // order-insensitive
+
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("wl=%q|arch=%d", "gcc", i)
+		o := r1.Owner(key)
+		if o2 := r2.Owner(key); o2 != o {
+			t.Fatalf("placement depends on worker order: %q vs %q", o, o2)
+		}
+		counts[o]++
+	}
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Fatalf("node %s owns nothing: %v", n, counts)
+		}
+		if counts[n] > 700 {
+			t.Fatalf("grossly skewed ring: %v", counts)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndOrdered(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(nodes, 32)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("key %q: owners %v", key, owners)
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("key %q: Owners[0] %q != Owner %q", key, owners[0], r.Owner(key))
+		}
+	}
+	// Clamped to the node count; every node appears exactly once.
+	owners := r.Owners("x", 99)
+	if len(owners) != len(nodes) {
+		t.Fatalf("Owners(99) = %v", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		seen[o] = true
+	}
+	if len(seen) != len(nodes) {
+		t.Fatalf("duplicate owners: %v", owners)
+	}
+}
+
+// TestRingMinimalMovement: removing one worker relocates only the keys it
+// owned — everything else stays put, so the surviving shards' stores stay
+// warm.
+func TestRingMinimalMovement(t *testing.T) {
+	all := []string{"http://a", "http://b", "http://c"}
+	r3 := NewRing(all, 64)
+	r2 := NewRing(all[:2], 64)
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("k%d", i)
+		before := r3.Owner(key)
+		after := r2.Owner(key)
+		if before != "http://c" && before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved that were not on the removed worker", moved)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if o := NewRing(nil, 8).Owners("k", 2); o != nil {
+		t.Fatalf("empty ring returned owners %v", o)
+	}
+	r := NewRing([]string{"only"}, 8)
+	if o := r.Owners("k", 3); len(o) != 1 || o[0] != "only" {
+		t.Fatalf("single ring: %v", o)
+	}
+}

@@ -10,6 +10,8 @@
 package lab
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -133,29 +135,67 @@ func (c *Cache) Store() *store.Store { return c.disk }
 // Do returns the memoized result for j, computing it on first request.
 // Concurrent calls with the same key share one computation.
 func (c *Cache) Do(j Job) (sim.Result, error) {
+	return c.DoContext(context.Background(), j)
+}
+
+// DoContext is Do with cancellation. A waiter whose context ends returns
+// ctx.Err() immediately; the in-flight computation it was waiting on is
+// unaffected and still lands in the cache for everyone else. A caller that
+// becomes the filler checks its context once more immediately before the
+// simulation starts: a request canceled by then skips the run entirely and
+// the entry is evicted, so cancellation never wastes simulation work and
+// never caches a hole. Work that has already started is carried to
+// completion and cached — a canceled client's finished jobs still benefit
+// the next request.
+//
+// Cancellation cannot poison other requests: when a filler aborts with its
+// context error, waiters with still-live contexts observe the eviction and
+// retry, taking over the computation themselves.
+func (c *Cache) DoContext(ctx context.Context, j Job) (sim.Result, error) {
 	key := j.Key()
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.hits++
+	for {
+		if err := ctx.Err(); err != nil {
+			return sim.Result{}, err
+		}
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return sim.Result{}, ctx.Err()
+			}
+			if isContextErr(e.err) && ctx.Err() == nil {
+				// The filler's request was canceled before its run began;
+				// the entry has been evicted. Our context is live, so take
+				// over the computation instead of surfacing a stranger's
+				// cancellation.
+				continue
+			}
+			return e.res, e.err
+		}
+		e := &entry{done: make(chan struct{})}
+		c.entries[key] = e
+		c.inflight++
 		c.mu.Unlock()
-		<-e.done
+
+		c.fill(ctx, e, key, j)
 		return e.res, e.err
 	}
-	e := &entry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.inflight++
-	c.mu.Unlock()
+}
 
-	c.fill(e, key, j)
-	return e.res, e.err
+func isContextErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // fill computes the entry's result — disk tier first, then simulation —
 // and releases the waiters. It is panic-safe: entry.done is closed via
 // defer no matter how the run ends, and a panic inside the simulator
 // becomes an ordinary error result. Error entries (including recovered
-// panics) are evicted before the waiters are released.
-func (c *Cache) fill(e *entry, key string, j Job) {
+// panics and pre-run cancellations) are evicted before the waiters are
+// released.
+func (c *Cache) fill(ctx context.Context, e *entry, key string, j Job) {
 	defer func() {
 		if p := recover(); p != nil {
 			e.err = fmt.Errorf("lab: run %s panicked: %v", key, p)
@@ -177,6 +217,14 @@ func (c *Cache) fill(e *entry, key string, j Job) {
 			e.res = res
 			return
 		}
+	}
+	// Last cancellation point: beyond here the simulation runs to
+	// completion and is cached even if the requester has gone away.
+	// Checking before the miss counter keeps Misses an exact count of
+	// simulations actually started.
+	if err := ctx.Err(); err != nil {
+		e.err = fmt.Errorf("lab: run %s: %w", key, err)
+		return
 	}
 	c.mu.Lock()
 	c.misses++

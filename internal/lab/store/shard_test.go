@@ -1,0 +1,40 @@
+package store_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"flywheel/internal/lab/store"
+	"flywheel/internal/sim"
+)
+
+// TestShardDirsAreDisjointStores: two shards under one root are fully
+// independent — a key written to shard 0 is invisible to shard 1, and the
+// directory names are stable and sortable.
+func TestShardDirsAreDisjointStores(t *testing.T) {
+	root := t.TempDir()
+	if got, want := store.ShardDir(root, 7), filepath.Join(root, "shard-007"); got != want {
+		t.Fatalf("ShardDir = %q, want %q", got, want)
+	}
+	s0, err := store.Open(store.ShardDir(root, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := store.Open(store.ShardDir(root, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Put("k", sim.Result{Retired: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s1.Get("k"); ok {
+		t.Fatal("shard 1 sees shard 0's entry")
+	}
+	if res, ok := s0.Get("k"); !ok || res.Retired != 1 {
+		t.Fatalf("shard 0 lost its own entry: %v %v", res, ok)
+	}
+	entries, _ := s1.Size()
+	if entries != 0 {
+		t.Fatalf("shard 1 counts %d entries", entries)
+	}
+}

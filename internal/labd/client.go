@@ -3,6 +3,7 @@ package labd
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,22 +43,55 @@ func (c *Client) httpc() *http.Client {
 // leaves its zero Result in place and the lowest-indexed failure becomes
 // the returned error.
 func (c *Client) Sweep(req SweepRequest) ([]SweepLine, error) {
+	return c.SweepContext(context.Background(), req)
+}
+
+// SweepContext is Sweep with cancellation: ending the context aborts the
+// request and the stream read; the service skips the batch's unstarted
+// jobs.
+func (c *Client) SweepContext(ctx context.Context, req SweepRequest) ([]SweepLine, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("labd client: encode request: %w", err)
 	}
-	resp, err := c.httpc().Post(c.BaseURL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("labd client: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc().Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("labd client: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("labd client: sweep: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		err := fmt.Errorf("labd client: sweep: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			err = fmt.Errorf("%w%w", errBackpressure, err)
+		}
+		return nil, err
 	}
+	return decodeSweepStream(resp.Body, len(req.Jobs))
+}
 
-	lines := make([]SweepLine, 0, len(req.Jobs))
-	sc := bufio.NewScanner(resp.Body)
+// errBackpressure tags a 503 reply so callers can distinguish "retry
+// later" from a hard failure.
+var errBackpressure = errors.New("")
+
+// IsBackpressure reports whether err is a service 503 — the cluster or
+// service shed the request and the client should honor Retry-After.
+func IsBackpressure(err error) bool { return errors.Is(err, errBackpressure) }
+
+// decodeSweepStream validates and collects the NDJSON response body. The
+// protocol invariants it enforces — strictly increasing indexes starting
+// at zero (no duplicates, no reordering), exactly n lines, every line
+// under the scanner cap — turn any server or transport corruption into an
+// error instead of silently misattributed results. Blank lines are
+// tolerated (keep-alive padding).
+func decodeSweepStream(body io.Reader, n int) ([]SweepLine, error) {
+	lines := make([]SweepLine, 0, n)
+	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // results with full stats are large
 	for sc.Scan() {
 		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
@@ -70,13 +104,16 @@ func (c *Client) Sweep(req SweepRequest) ([]SweepLine, error) {
 		if line.Index != len(lines) {
 			return nil, fmt.Errorf("labd client: line %d arrived out of order (index %d)", len(lines), line.Index)
 		}
+		if len(lines) == n {
+			return nil, fmt.Errorf("labd client: stream overran: more than %d results", n)
+		}
 		lines = append(lines, line)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("labd client: stream: %w", err)
 	}
-	if len(lines) != len(req.Jobs) {
-		return nil, fmt.Errorf("labd client: stream truncated: %d of %d results", len(lines), len(req.Jobs))
+	if len(lines) != n {
+		return nil, fmt.Errorf("labd client: stream truncated: %d of %d results", len(lines), n)
 	}
 	for _, line := range lines {
 		if line.Error != "" {
@@ -88,24 +125,50 @@ func (c *Client) Sweep(req SweepRequest) ([]SweepLine, error) {
 
 // Stats fetches the service counters.
 func (c *Client) Stats() (StatsReply, error) {
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats with cancellation.
+func (c *Client) StatsContext(ctx context.Context) (StatsReply, error) {
 	var reply StatsReply
-	resp, err := c.httpc().Get(c.BaseURL + "/v1/stats")
+	err := c.getJSON(ctx, "/v1/stats", &reply)
+	return reply, err
+}
+
+// Health probes the service's liveness endpoint.
+func (c *Client) Health(ctx context.Context) (HealthReply, error) {
+	var reply HealthReply
+	err := c.getJSON(ctx, "/v1/health", &reply)
+	return reply, err
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, dst any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return reply, fmt.Errorf("labd client: %w", err)
+		return fmt.Errorf("labd client: %w", err)
+	}
+	resp, err := c.httpc().Do(hreq)
+	if err != nil {
+		return fmt.Errorf("labd client: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return reply, fmt.Errorf("labd client: stats: %s", resp.Status)
+		return fmt.Errorf("labd client: %s: %s", strings.TrimPrefix(path, "/v1/"), resp.Status)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-		return reply, fmt.Errorf("labd client: decode stats: %w", err)
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		return fmt.Errorf("labd client: decode %s: %w", strings.TrimPrefix(path, "/v1/"), err)
 	}
-	return reply, nil
+	return nil
 }
 
 // Frontier runs an explore-style Pareto query; params mirror the explore
 // CLI flags (nil or empty values use the server defaults).
 func (c *Client) Frontier(params map[string]string) (FrontierReply, error) {
+	return c.FrontierContext(context.Background(), params)
+}
+
+// FrontierContext is Frontier with cancellation.
+func (c *Client) FrontierContext(ctx context.Context, params map[string]string) (FrontierReply, error) {
 	var reply FrontierReply
 	u := c.BaseURL + "/v1/frontier"
 	if len(params) > 0 {
@@ -115,7 +178,11 @@ func (c *Client) Frontier(params map[string]string) (FrontierReply, error) {
 		}
 		u += "?" + q.Encode()
 	}
-	resp, err := c.httpc().Get(u)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return reply, fmt.Errorf("labd client: %w", err)
+	}
+	resp, err := c.httpc().Do(hreq)
 	if err != nil {
 		return reply, fmt.Errorf("labd client: %w", err)
 	}

@@ -18,14 +18,24 @@
 //	                   rr, code, seed, passes, arch, fe, be, node, n).
 //	GET  /v1/stats     cache hit/miss/in-flight counters, store size,
 //	                   uptime and the store version stamp.
+//	GET  /v1/health    liveness probe: {"status":"ok",...}. Coordinators
+//	                   (internal/fabric) use it to register workers.
+//
+// Request lifecycle: every sweep job is gated on the request context — a
+// client that disconnects mid-stream stops consuming the service the
+// moment its running jobs finish; unstarted jobs never claim a semaphore
+// slot or a simulation. Undeliverable replies are counted (stats
+// dropped_replies) instead of being silently discarded.
 package labd
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"flywheel/internal/explore"
@@ -77,6 +87,21 @@ type StatsReply struct {
 	SnapshotCache sim.SnapshotCacheInfo `json:"snapshot_cache"`
 	Version       string                `json:"version"`
 	UptimeSeconds float64               `json:"uptime_seconds"`
+	// DroppedReplies counts responses the service could not deliver — the
+	// client vanished mid-reply or mid-NDJSON-stream. Before this counter
+	// existed those failures were silently discarded.
+	DroppedReplies uint64 `json:"dropped_replies"`
+	// CanceledJobs counts sweep jobs skipped because their request's
+	// context ended before they started simulating.
+	CanceledJobs uint64 `json:"canceled_jobs"`
+}
+
+// HealthReply is the /v1/health body. Coordinators poll it to register and
+// monitor workers.
+type HealthReply struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // FrontierPoint is one Pareto-optimal configuration in /v1/frontier.
@@ -109,6 +134,11 @@ type Server struct {
 	// neither one huge batch nor many concurrent requests can oversubscribe
 	// the machine.
 	sem chan struct{}
+
+	logf func(format string, args ...any)
+
+	droppedReplies atomic.Uint64
+	canceledJobs   atomic.Uint64
 }
 
 // NewServer wraps the cache in a service.
@@ -117,7 +147,17 @@ func NewServer(cache *lab.Cache) *Server {
 		cache: cache,
 		start: time.Now(),
 		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+		logf:  log.Printf,
 	}
+}
+
+// SetLogf redirects the service's operational log lines (dropped replies,
+// aborted streams); the default is log.Printf. A nil f silences them.
+func (s *Server) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
 }
 
 // Handler returns the service's HTTP routes.
@@ -126,6 +166,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/frontier", s.handleFrontier)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	return mux
 }
 
@@ -162,7 +203,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	// Fan the batch across a bounded pool through the shared cache; each
 	// job's outcome lands in its own single-slot channel so the writer can
-	// stream strictly in job order while later jobs keep computing.
+	// stream strictly in job order while later jobs keep computing. The
+	// request context gates every stage: a disconnected client's unstarted
+	// jobs are skipped before they can claim a semaphore slot or a
+	// simulation, so a canceled 65k-job batch stops consuming the
+	// service-wide GOMAXPROCS budget almost immediately. Jobs that already
+	// started simulating run to completion and land in the shared cache.
+	ctx := r.Context()
 	type outcome struct {
 		res sim.Result
 		err error
@@ -172,11 +219,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Jobs {
 		ready[i] = make(chan outcome, 1)
 		go func(i int) {
-			reqSem <- struct{}{}
+			select {
+			case reqSem <- struct{}{}:
+			case <-ctx.Done():
+				s.canceledJobs.Add(1)
+				ready[i] <- outcome{err: ctx.Err()}
+				return
+			}
 			defer func() { <-reqSem }()
-			s.sem <- struct{}{}
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				s.canceledJobs.Add(1)
+				ready[i] <- outcome{err: ctx.Err()}
+				return
+			}
 			defer func() { <-s.sem }()
-			res, err := s.cache.Do(req.Jobs[i])
+			res, err := s.cache.DoContext(ctx, req.Jobs[i])
 			ready[i] <- outcome{res, err}
 		}(i)
 	}
@@ -186,7 +245,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	for i := range req.Jobs {
-		o := <-ready[i]
+		var o outcome
+		select {
+		case o = <-ready[i]:
+		case <-ctx.Done():
+			s.droppedReplies.Add(1)
+			s.logf("labd: sweep stream aborted at line %d/%d: %v", i, len(req.Jobs), ctx.Err())
+			return
+		}
 		line := SweepLine{Index: i, Key: req.Jobs[i].Key()}
 		if o.err != nil {
 			line.Error = o.err.Error()
@@ -194,7 +260,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			line.Result = &o.res
 		}
 		if err := enc.Encode(line); err != nil {
-			return // client went away; the cache keeps the finished work
+			// Client went away mid-stream; the cache keeps the finished work.
+			s.droppedReplies.Add(1)
+			s.logf("labd: sweep stream dropped at line %d/%d: %v", i, len(req.Jobs), err)
+			return
 		}
 		if flusher != nil {
 			flusher.Flush()
@@ -271,16 +340,18 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 			TimePS:      p.Result.TimePS,
 		})
 	}
-	writeJSON(w, reply)
+	s.writeJSON(w, r, reply)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	reply := StatsReply{
-		Cache:         s.cache.Stats(),
-		TraceCache:    sim.TraceCacheStats(),
-		SnapshotCache: sim.SnapshotCacheInfoNow(),
-		Version:       store.Version(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:          s.cache.Stats(),
+		TraceCache:     sim.TraceCacheStats(),
+		SnapshotCache:  sim.SnapshotCacheInfoNow(),
+		Version:        store.Version(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		DroppedReplies: s.droppedReplies.Load(),
+		CanceledJobs:   s.canceledJobs.Load(),
 	}
 	if st := s.cache.Store(); st != nil {
 		entries, bytes := st.Size()
@@ -290,12 +361,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Hits: ss.Hits, Misses: ss.Misses, BadEntries: ss.BadEntries, Puts: ss.Puts,
 		}
 	}
-	writeJSON(w, reply)
+	s.writeJSON(w, r, reply)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, HealthReply{
+		Status:        "ok",
+		Version:       store.Version(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// writeJSON encodes the reply and accounts for undeliverable ones: a
+// client that vanishes mid-reply used to be indistinguishable from success
+// (enc.Encode's error was discarded); now it is logged and counted in
+// /v1/stats as dropped_replies.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.droppedReplies.Add(1)
+		s.logf("labd: %s %s reply dropped: %v", r.Method, r.URL.Path, err)
+	}
 }

@@ -30,7 +30,9 @@ func testJobs() []lab.Job {
 
 func startServer(t *testing.T, cache *lab.Cache) (*httptest.Server, *labd.Client) {
 	t.Helper()
-	ts := httptest.NewServer(labd.NewServer(cache).Handler())
+	srv := labd.NewServer(cache)
+	srv.SetLogf(t.Logf)
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, labd.NewClient(ts.URL)
 }

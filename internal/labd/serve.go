@@ -1,0 +1,60 @@
+package labd
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// NewHTTPServer wraps a handler in an http.Server with the hardening every
+// long-running lab service needs: a ReadHeaderTimeout (a slowloris client
+// can no longer hold a connection open forever by trickling header bytes)
+// and an IdleTimeout for keep-alive connections. Response streaming is
+// unaffected — sweeps may run arbitrarily long.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// ServeGracefully serves srv on ln until SIGINT/SIGTERM arrives or stop
+// closes (stop may be nil), then drains: in-flight requests — including
+// mid-stream NDJSON sweeps — get up to drain to complete before the
+// server is force-closed. A clean drain returns nil; an exceeded drain
+// deadline returns the shutdown error after closing remaining
+// connections.
+//
+// Before this existed, labd served with a bare http.ListenAndServe:
+// SIGTERM during a sweep killed the process outright, dropping every
+// in-flight NDJSON stream mid-line.
+func ServeGracefully(srv *http.Server, ln net.Listener, stop <-chan struct{}, drain time.Duration) error {
+	sigCtx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSig()
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		select {
+		case <-sigCtx.Done():
+		case <-stop: // nil stop blocks forever; signals still work
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if err != nil {
+			srv.Close()
+		}
+		shutdownDone <- err
+	}()
+
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-shutdownDone
+}
