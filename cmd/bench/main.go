@@ -22,10 +22,12 @@ import (
 	"testing"
 	"time"
 
+	"flywheel/internal/analytic"
 	"flywheel/internal/asm"
 	"flywheel/internal/cacti"
 	"flywheel/internal/emu"
 	"flywheel/internal/experiments"
+	"flywheel/internal/explore"
 	"flywheel/internal/lab"
 	"flywheel/internal/lab/store"
 	"flywheel/internal/sim"
@@ -59,6 +61,21 @@ type SuiteMetrics struct {
 	TraceBytes  int64  `json:"trace_bytes"`
 }
 
+// TieredMetrics summarizes a two-tier frontier exploration: how much of
+// the grid the calibrated analytic model screened out versus how much was
+// escalated to the cycle-accurate simulator, and at what accuracy.
+type TieredMetrics struct {
+	GridCells        int     `json:"grid_cells"`
+	CalibrationCells int     `json:"calibration_cells"`
+	AnalyticCells    int     `json:"analytic_cells"`
+	ConfirmedCells   int     `json:"confirmed_cells"`
+	Margin           float64 `json:"margin"`
+	// TimeMAPE is the model's measured (not in-sample) mean relative time
+	// error over the confirmed cells.
+	TimeMAPE float64 `json:"time_mape"`
+	TotalMs  float64 `json:"total_ms"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Date            string             `json:"date"`
@@ -70,6 +87,7 @@ type Report struct {
 	Emu             Metrics            `json:"emu"`
 	Cores           map[string]Metrics `json:"cores"`
 	Suite           SuiteMetrics       `json:"suite"`
+	Tiered          TieredMetrics      `json:"tiered"`
 }
 
 // emuLoop is the steady-state kernel for the raw emulator measurement.
@@ -181,6 +199,38 @@ func benchSuite(instructions uint64, storeDir string) (SuiteMetrics, error) {
 	}, nil
 }
 
+// benchTiered times an end-to-end two-tier exploration — calibration,
+// analytic screen, cycle-accurate confirmation — over a fixed 144-cell
+// space, with an in-memory cache so every run starts cold.
+func benchTiered(instructions uint64) (TieredMetrics, error) {
+	space := explore.Space{
+		Profiles:     analytic.DefaultTrainingProfiles(1)[:8],
+		Archs:        []sim.Arch{sim.ArchFlywheel},
+		FEBoosts:     []int{0, 20, 40, 60, 80, 100},
+		BEBoosts:     []int{0, 50, 100},
+		Instructions: instructions,
+	}
+	opt := explore.Options{Cache: lab.NewCache()}
+	start := time.Now()
+	model, err := analytic.Calibrate(explore.CalibrationConfig(space, opt))
+	if err != nil {
+		return TieredMetrics{}, err
+	}
+	rep, err := explore.ExploreTiered(space, model, explore.TieredOptions{Options: opt})
+	if err != nil {
+		return TieredMetrics{}, err
+	}
+	return TieredMetrics{
+		GridCells:        len(rep.Predicted),
+		CalibrationCells: model.TrainingCells,
+		AnalyticCells:    len(rep.Predicted) - len(rep.Confirmed),
+		ConfirmedCells:   len(rep.Confirmed),
+		Margin:           rep.Margin,
+		TimeMAPE:         rep.Err.TimeMAPE,
+		TotalMs:          float64(time.Since(start).Microseconds()) / 1e3,
+	}, nil
+}
+
 // loadReport reads a previously emitted BENCH json.
 func loadReport(path string) (Report, error) {
 	var r Report
@@ -264,6 +314,9 @@ func run(out io.Writer, quick bool, outPath, storeDir string) (Report, error) {
 	if rep.Suite, err = benchSuite(instructions, storeDir); err != nil {
 		return rep, err
 	}
+	if rep.Tiered, err = benchTiered(instructions); err != nil {
+		return rep, err
+	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -278,11 +331,12 @@ func run(out io.Writer, quick bool, outPath, storeDir string) (Report, error) {
 		return rep, err
 	}
 	fmt.Fprintf(out, "wrote %s\n", outPath)
-	fmt.Fprintf(out, "emu: %.1f ns/inst (%.1f MIPS)  baseline: %.0f ns/inst (%.2f MIPS, %.3f allocs/inst)  flywheel: %.0f ns/inst (%.2f MIPS, %.3f allocs/inst)  suite: %.0f ms for %d jobs\n",
+	fmt.Fprintf(out, "emu: %.1f ns/inst (%.1f MIPS)  baseline: %.0f ns/inst (%.2f MIPS, %.3f allocs/inst)  flywheel: %.0f ns/inst (%.2f MIPS, %.3f allocs/inst)  suite: %.0f ms for %d jobs  tiered: %d/%d cells confirmed in %.0f ms\n",
 		rep.Emu.NsPerInst, rep.Emu.MIPS,
 		rep.Cores["baseline"].NsPerInst, rep.Cores["baseline"].MIPS, rep.Cores["baseline"].AllocsPerInst,
 		rep.Cores["flywheel"].NsPerInst, rep.Cores["flywheel"].MIPS, rep.Cores["flywheel"].AllocsPerInst,
-		rep.Suite.TotalMs, rep.Suite.Jobs)
+		rep.Suite.TotalMs, rep.Suite.Jobs,
+		rep.Tiered.ConfirmedCells, rep.Tiered.GridCells, rep.Tiered.TotalMs)
 	return rep, nil
 }
 

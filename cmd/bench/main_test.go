@@ -46,6 +46,33 @@ func TestReportJSONShape(t *testing.T) {
 			t.Errorf("suite metrics missing key %q", key)
 		}
 	}
+	tiered := got["tiered"].(map[string]any)
+	for _, key := range []string{
+		"grid_cells", "calibration_cells", "analytic_cells",
+		"confirmed_cells", "margin", "time_mape", "total_ms",
+	} {
+		if _, ok := tiered[key]; !ok {
+			t.Errorf("tiered metrics missing key %q", key)
+		}
+	}
+}
+
+// TestBenchTieredTiny drives the two-tier measurement end to end with a
+// tiny budget: the analytic screen must carry most of the grid.
+func TestBenchTieredTiny(t *testing.T) {
+	m, err := benchTiered(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GridCells == 0 || m.TotalMs <= 0 || m.Margin <= 0 {
+		t.Fatalf("implausible tiered metrics: %+v", m)
+	}
+	if m.AnalyticCells+m.ConfirmedCells != m.GridCells {
+		t.Fatalf("analytic %d + confirmed %d != grid %d", m.AnalyticCells, m.ConfirmedCells, m.GridCells)
+	}
+	if m.ConfirmedCells == 0 || m.AnalyticCells <= m.ConfirmedCells {
+		t.Fatalf("screen carried too little: %+v", m)
+	}
 }
 
 // TestCompareGatesOnRegression pins the -compare contract: deltas print

@@ -12,6 +12,15 @@
 //	explore -frontier -parallel 8                      # frontier only
 //	explore -store ~/.flywheel-store                   # persist results;
 //	                                                   # a re-run simulates nothing
+//
+// Large grids can be screened with the two-tier explorer: `-tier analytic`
+// calibrates a closed-form model on the space's own profiles, predicts
+// every cell, and simulates only the cells near the predicted Pareto
+// frontier (plus a random audit sample). `-tier auto` picks a tier by
+// comparing the grid size against the calibration cost.
+//
+//	explore -tier analytic -fe 0,10,...,100 -be 0,25,50,75,100
+//	explore -tier auto -margin 0.02 -audit 0.05
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"flywheel/internal/analytic"
 	"flywheel/internal/explore"
 	"flywheel/internal/lab"
 	"flywheel/internal/lab/store"
@@ -55,6 +65,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n       = fs.Uint64("n", def.Instructions, "measured dynamic instructions per run")
 		workers = fs.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
 
+		tier      = fs.String("tier", "exact", "evaluation tier: exact, analytic, or auto")
+		margin    = fs.Float64("margin", 0, "analytic frontier slack fraction (0 = derive from model error, negative = frontier only)")
+		audit     = fs.Float64("audit", explore.DefaultAudit, "fraction of screened-out cells confirmed anyway (negative disables)")
+		auditSeed = fs.Uint64("auditseed", 1, "audit-sample seed")
+		maxPoints = fs.Int("maxpoints", 0, "grid-size guard (0 = 4096 for -tier exact, 262144 otherwise)")
+
 		storeDir   = fs.String("store", "", "persistent result-store directory (empty = in-memory only)")
 		storeStats = fs.Bool("storestats", false, "print cache/store statistics to stderr after the run")
 
@@ -67,11 +83,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *tier != "exact" && *tier != "analytic" && *tier != "auto" {
+		fmt.Fprintf(stderr, "explore: unknown tier %q (want exact, analytic or auto)\n", *tier)
+		return 2
+	}
+	guard := *maxPoints
+	if guard == 0 && *tier != "exact" {
+		// The analytic tier screens cells in nanoseconds; the exact guard
+		// would defeat its purpose.
+		guard = 262_144
+	}
 	space, err := explore.Axes{
 		ILP: *ilp, Entropy: *entropy, FPMix: *fpmix, Mem: *mem,
 		Stride: *stride, Reuse: *reuse, Code: *code, Seed: *seed,
 		Passes: *passes, Arch: *arch, FE: *fe, BE: *be, Node: *node,
-		Instructions: *n,
+		Instructions: *n, MaxPoints: guard,
 	}.Space()
 	if err != nil {
 		fmt.Fprintln(stderr, "explore:", err)
@@ -95,20 +121,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opt.Cache = lab.NewCache()
 	}
 
-	rep, err := explore.Explore(space, opt)
-	if err != nil {
-		fmt.Fprintln(stderr, "explore:", err)
-		return 1
+	useAnalytic := *tier == "analytic"
+	if *tier == "auto" {
+		// Screen analytically only when the grid comfortably out-sizes the
+		// calibration cost; small grids are cheaper to just simulate.
+		plan, err := explore.NewPlan(space)
+		if err != nil {
+			fmt.Fprintln(stderr, "explore:", err)
+			return 2
+		}
+		calibCells := explore.CalibrationConfig(space, opt).Cells()
+		useAnalytic = plan.Cells() >= 4*calibCells
+		fmt.Fprintf(stderr, "explore: auto tier: %d grid cells vs %d calibration cells -> %s\n",
+			plan.Cells(), calibCells, map[bool]string{true: "analytic", false: "exact"}[useAnalytic])
 	}
 
-	switch {
-	case *csvOut:
-		fmt.Fprint(stdout, rep.CSV())
-	case *frontierOnly:
-		emit(stdout, rep.FrontierTable(), *markdown)
-	default:
-		emit(stdout, rep.Table(), *markdown)
-		emit(stdout, rep.FrontierTable(), *markdown)
+	if useAnalytic {
+		model, err := analytic.Calibrate(explore.CalibrationConfig(space, opt))
+		if err != nil {
+			fmt.Fprintln(stderr, "explore:", err)
+			return 1
+		}
+		rep, err := explore.ExploreTiered(space, model, explore.TieredOptions{
+			Options: opt, Margin: *margin, Audit: *audit, AuditSeed: *auditSeed,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "explore:", err)
+			return 1
+		}
+		fmt.Fprintln(stderr, "explore:", rep.Summary())
+		switch {
+		case *csvOut:
+			fmt.Fprint(stdout, rep.CSV())
+		case *frontierOnly:
+			emit(stdout, rep.ConfirmedReport().FrontierTable(), *markdown)
+		default:
+			emit(stdout, rep.ConfirmedReport().Table(), *markdown)
+			emit(stdout, rep.ConfirmedReport().FrontierTable(), *markdown)
+		}
+	} else {
+		rep, err := explore.Explore(space, opt)
+		if err != nil {
+			fmt.Fprintln(stderr, "explore:", err)
+			return 1
+		}
+		switch {
+		case *csvOut:
+			fmt.Fprint(stdout, rep.CSV())
+		case *frontierOnly:
+			emit(stdout, rep.FrontierTable(), *markdown)
+		default:
+			emit(stdout, rep.Table(), *markdown)
+			emit(stdout, rep.FrontierTable(), *markdown)
+		}
 	}
 	if *storeStats && opt.Cache != nil {
 		fmt.Fprintln(stderr, opt.Cache.StatsLine())

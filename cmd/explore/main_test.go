@@ -118,3 +118,54 @@ func TestRunInvalidProfile(t *testing.T) {
 		t.Errorf("exit %d, want 1 for an out-of-range profile", code)
 	}
 }
+
+func TestRunTierAnalytic(t *testing.T) {
+	args := append([]string{
+		"-tier", "analytic", "-fe", "0,25,50,75,100", "-be", "0,50,100",
+	}, tiny[:len(tiny)-2]...) // drop tiny's -fe pair, keep profile knobs
+	args = append(args, "-n", "2000")
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "screened analytically") {
+		t.Errorf("stderr lacks the tier summary: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "Pareto frontier") {
+		t.Error("output lacks the confirmed frontier table")
+	}
+}
+
+func TestRunTierAnalyticCSV(t *testing.T) {
+	args := append([]string{"-csv", "-tier", "analytic", "-fe", "0,25,50,75,100"}, tiny[2:]...)
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if !strings.Contains(lines[0], "pred_speedup") || !strings.Contains(lines[0], "pred_energy_ratio") {
+		t.Errorf("tiered CSV header lacks prediction columns: %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Error("tiered CSV has no confirmed rows")
+	}
+}
+
+func TestRunTierAuto(t *testing.T) {
+	// Tiny grid: auto must choose the exact tier (calibration would cost
+	// more than the sweep).
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"-tier", "auto"}, tiny...), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-> exact") {
+		t.Errorf("auto tier did not fall back to exact on a tiny grid: %s", errb.String())
+	}
+}
+
+func TestRunTierRejectsUnknown(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"-tier", "psychic"}, tiny...), &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

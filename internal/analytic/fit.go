@@ -1,0 +1,96 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// solveRidge fits w to minimize ||Xw - y||² + λ||w||² via the normal
+// equations (XᵀX + λI) w = Xᵀy, solved by Gaussian elimination with
+// partial pivoting. The regularizer is scaled to the problem
+// (λ = 1e-6 · trace(XᵀX)/d) so the solve stays stable when a feature
+// column is constant — the baseline architecture's boost features are
+// identically zero, which would make a plain least-squares system
+// singular.
+func solveRidge(X [][]float64, y []float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("ridge: %d rows vs %d targets", n, len(y))
+	}
+	d := len(X[0])
+	if n < 3 {
+		return nil, fmt.Errorf("ridge: %d observations cannot constrain %d features", n, d)
+	}
+
+	// A = XᵀX, b = Xᵀy.
+	A := make([][]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	for r, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("ridge: ragged feature row %d", r)
+		}
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+			b[i] += row[i] * y[r]
+		}
+	}
+	trace := 0.0
+	for i := 0; i < d; i++ {
+		trace += A[i][i]
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+	}
+	lambda := 1e-6 * trace / float64(d)
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("ridge: degenerate design matrix (trace %g)", trace)
+	}
+	for i := 0; i < d; i++ {
+		A[i][i] += lambda
+	}
+
+	// Gaussian elimination with partial pivoting.
+	w := make([]float64, d)
+	for col := 0; col < d; col++ {
+		pivot := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if A[pivot][col] == 0 {
+			return nil, fmt.Errorf("ridge: singular system at column %d", col)
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / A[col][col]
+		for r := col + 1; r < d; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < d; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for col := d - 1; col >= 0; col-- {
+		s := b[col]
+		for c := col + 1; c < d; c++ {
+			s -= A[col][c] * w[c]
+		}
+		w[col] = s / A[col][col]
+	}
+	for _, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("ridge: non-finite solution")
+		}
+	}
+	return w, nil
+}

@@ -14,14 +14,16 @@
 package explore
 
 import (
+	"encoding/csv"
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"flywheel/internal/cacti"
 	"flywheel/internal/lab"
 	"flywheel/internal/sim"
 	"flywheel/internal/stats"
-	"flywheel/internal/workload"
 	"flywheel/internal/workload/synth"
 )
 
@@ -80,13 +82,29 @@ type Point struct {
 	Baseline sim.Result
 
 	// Speedup is baseline time / this time; EnergyRatio is this energy /
-	// baseline energy. The ideal corner is high speedup at low ratio.
+	// baseline energy. The ideal corner is high speedup at low ratio. A
+	// degenerate baseline (zero energy) yields NaN, and NaN points are
+	// excluded from frontier dominance entirely.
 	Speedup     float64
 	EnergyRatio float64
 	// OnFrontier marks Pareto-optimal points: no other point has both
 	// higher-or-equal speedup and lower-or-equal energy with at least one
 	// strict.
 	OnFrontier bool
+	// Predicted marks points whose Result came from the analytic tier's
+	// fitted model rather than a cycle-accurate simulation.
+	Predicted bool
+
+	// gridIndex is the point's position in the plan's grid enumeration, so
+	// a confirmed subset can be joined back to its predictions.
+	gridIndex int
+}
+
+// finite reports whether the point's metrics participate in Pareto
+// dominance: NaN in either metric excludes the point (it can neither be on
+// the frontier nor dominate anything).
+func (p Point) finite() bool {
+	return !math.IsNaN(p.Speedup) && !math.IsNaN(p.EnergyRatio)
 }
 
 // Report is the outcome of one exploration.
@@ -135,6 +153,7 @@ func gridJobs(s Space) (baselines, grid []lab.Job, points []Point) {
 						points = append(points, Point{
 							Profile: p, Arch: arch, Node: node,
 							FEBoost: fe, BEBoost: be,
+							gridIndex: len(points),
 						})
 					}
 				}
@@ -146,48 +165,20 @@ func gridJobs(s Space) (baselines, grid []lab.Job, points []Point) {
 
 // Explore generates and registers every profile's workload, runs the whole
 // grid (plus per-profile baselines) as one batched lab submission, and
-// reduces the results to a Pareto report.
+// reduces the results to a Pareto report. It is the exact (cycle-accurate)
+// path: planning and execution are split behind NewPlan and Tier, so the
+// same grid can instead be screened analytically — see ExploreTiered.
 func Explore(s Space, opt Options) (*Report, error) {
-	s = s.normalize()
-	if len(s.Profiles) == 0 {
-		return nil, fmt.Errorf("explore: no profiles in the space")
-	}
-	for _, p := range s.Profiles {
-		w, err := synth.Build(p)
-		if err != nil {
-			return nil, err
-		}
-		if err := workload.Register(w); err != nil {
-			return nil, err
-		}
-	}
-
-	baselines, grid, points := gridJobs(s)
-	jobs := append(append([]lab.Job{}, baselines...), grid...)
-	cache := opt.Cache
-	if cache == nil {
-		cache = sharedCache
-	}
-	res, err := lab.Run(jobs, lab.Options{Workers: opt.Workers, Cache: cache, Progress: opt.Progress})
+	plan, err := NewPlan(s)
 	if err != nil {
 		return nil, err
 	}
-
-	// Index the baseline results by (profile, node) in enumeration order.
-	base := map[string]sim.Result{}
-	for i, j := range baselines {
-		base[baseKey(j.Workload, j.Node)] = res[i]
-	}
-	for i := range points {
-		r := res[len(baselines)+i]
-		b := base[baseKey(points[i].Profile.Name(), points[i].Node)]
-		points[i].Result = r
-		points[i].Baseline = b
-		points[i].Speedup = r.Speedup(b)
-		points[i].EnergyRatio = stats.Ratio(r.EnergyPJ, b.EnergyPJ)
+	points, err := ExactTier{}.Evaluate(plan, opt)
+	if err != nil {
+		return nil, err
 	}
 	markFrontier(points)
-	return &Report{Space: s, Points: points}, nil
+	return &Report{Space: plan.Space, Points: points}, nil
 }
 
 func baseKey(name string, node cacti.Node) string {
@@ -196,21 +187,45 @@ func baseKey(name string, node cacti.Node) string {
 
 // markFrontier flags the Pareto-optimal points: maximize speedup, minimize
 // energy ratio. Duplicate metric pairs are all kept — neither dominates.
+// Points with NaN metrics (degenerate baselines) are excluded: never on the
+// frontier, never dominating. One sort plus one pass — O(n log n) — so
+// 100k-cell tiered grids reduce in milliseconds (the old all-pairs scan was
+// quadratic).
 func markFrontier(points []Point) {
+	idx := make([]int, 0, len(points))
 	for i := range points {
-		dominated := false
-		for j := range points {
-			if i == j {
-				continue
-			}
-			betterEq := points[j].Speedup >= points[i].Speedup && points[j].EnergyRatio <= points[i].EnergyRatio
-			strict := points[j].Speedup > points[i].Speedup || points[j].EnergyRatio < points[i].EnergyRatio
-			if betterEq && strict {
-				dominated = true
-				break
-			}
+		points[i].OnFrontier = false
+		if points[i].finite() {
+			idx = append(idx, i)
 		}
-		points[i].OnFrontier = !dominated
+	}
+	// Descending speedup, ascending energy within equal speedup.
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := &points[idx[a]], &points[idx[b]]
+		if pa.Speedup != pb.Speedup {
+			return pa.Speedup > pb.Speedup
+		}
+		return pa.EnergyRatio < pb.EnergyRatio
+	})
+	// In sorted order every earlier point has speedup >= the current one,
+	// so a point is dominated iff the running minimum energy of strictly
+	// faster points is <= its own, or a strictly lower energy exists within
+	// its own equal-speedup group (the group minimum is its first member).
+	minFaster := math.Inf(1)
+	for g := 0; g < len(idx); {
+		h := g
+		for h < len(idx) && points[idx[h]].Speedup == points[idx[g]].Speedup {
+			h++
+		}
+		groupMin := points[idx[g]].EnergyRatio
+		for k := g; k < h; k++ {
+			p := &points[idx[k]]
+			p.OnFrontier = minFaster > p.EnergyRatio && groupMin >= p.EnergyRatio
+		}
+		if groupMin < minFaster {
+			minFaster = groupMin
+		}
+		g = h
 	}
 }
 
@@ -223,12 +238,8 @@ func (r *Report) Frontier() []Point {
 			out = append(out, p)
 		}
 	}
-	// Insertion sort keeps the tie-break stable on grid order.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Speedup > out[j-1].Speedup; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// Stable sort keeps the tie-break on grid order.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Speedup > out[j].Speedup })
 	return out
 }
 
@@ -265,17 +276,40 @@ func (r *Report) FrontierTable() *stats.Table {
 	return tbl
 }
 
-// CSV renders every grid point as comma-separated records with a header,
-// byte-identical at any worker count.
-func (r *Report) CSV() string {
-	var b strings.Builder
-	b.WriteString("profile,arch,node,fe_pct,be_pct,time_ps,ipc,speedup,energy_ratio,ec_residency,frontier\n")
-	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%t\n",
-			p.Profile.String(), p.Arch, p.Node, p.FEBoost, p.BEBoost,
-			p.Result.TimePS, stats.F(p.Result.IPC, 4),
-			stats.F(p.Speedup, 4), stats.F(p.EnergyRatio, 4),
-			stats.F(p.Result.ECResidency, 4), p.OnFrontier)
+var csvHeader = []string{"profile", "arch", "node", "fe_pct", "be_pct", "time_ps", "ipc", "speedup", "energy_ratio", "ec_residency", "frontier"}
+
+func csvRecord(p Point) []string {
+	return []string{
+		p.Profile.String(), p.Arch.String(), p.Node.String(),
+		fmt.Sprintf("%d", p.FEBoost), fmt.Sprintf("%d", p.BEBoost),
+		fmt.Sprintf("%d", p.Result.TimePS), stats.F(p.Result.IPC, 4),
+		stats.F(p.Speedup, 4), stats.F(p.EnergyRatio, 4),
+		stats.F(p.Result.ECResidency, 4), fmt.Sprintf("%t", p.OnFrontier),
 	}
+}
+
+// writeCSV renders records through encoding/csv, so fields containing
+// delimiters (commas, quotes, newlines) are quoted instead of silently
+// misaligning the row — the old fmt.Fprintf emitter trusted every field.
+func writeCSV(b *strings.Builder, records [][]string) {
+	w := csv.NewWriter(b)
+	for _, rec := range records {
+		// Writer errors only surface on the underlying writer, and
+		// strings.Builder cannot fail.
+		_ = w.Write(rec)
+	}
+	w.Flush()
+}
+
+// CSV renders every grid point as RFC-4180 comma-separated records with a
+// header, byte-identical at any worker count.
+func (r *Report) CSV() string {
+	records := make([][]string, 0, len(r.Points)+1)
+	records = append(records, csvHeader)
+	for _, p := range r.Points {
+		records = append(records, csvRecord(p))
+	}
+	var b strings.Builder
+	writeCSV(&b, records)
 	return b.String()
 }

@@ -144,3 +144,47 @@ func TestCSVHasOneRowPerPoint(t *testing.T) {
 		t.Errorf("CSV header %q", lines[0])
 	}
 }
+
+// TestDuplicateBaselineGrid pins satellite semantics for grids that list
+// the baseline architecture as an explicit axis value: the baseline cell is
+// the same configuration as the per-(profile, node) normalization run, so
+// it must report Speedup and EnergyRatio of exactly 1.0 and be simulated
+// exactly once — the cache key collapses the duplicate.
+func TestDuplicateBaselineGrid(t *testing.T) {
+	cache := lab.NewCache()
+	s := Space{
+		Profiles: []synth.Profile{
+			{MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1, Seed: 31},
+		},
+		Archs:        []sim.Arch{sim.ArchBaseline, sim.ArchFlywheel},
+		FEBoosts:     []int{0, 50},
+		BEBoosts:     []int{50},
+		Instructions: 2_000,
+	}
+	rep, err := Explore(s, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs submitted: 1 baseline + 1 baseline grid cell (identical config) +
+	// 2 flywheel cells. Distinct configurations: 3.
+	if got := cache.Misses(); got != 3 {
+		t.Errorf("simulated %d distinct configurations, want 3 (baseline deduplicated)", got)
+	}
+	var baselineCells int
+	for _, p := range rep.Points {
+		if p.Arch != sim.ArchBaseline {
+			continue
+		}
+		baselineCells++
+		if p.Speedup != 1.0 || p.EnergyRatio != 1.0 {
+			t.Errorf("baseline cell reports speedup=%v energy=%v, want exactly 1.0/1.0",
+				p.Speedup, p.EnergyRatio)
+		}
+		if p.FEBoost != 0 || p.BEBoost != 0 {
+			t.Errorf("baseline cell carries boosts FE%d/BE%d, want collapsed to 0/0", p.FEBoost, p.BEBoost)
+		}
+	}
+	if baselineCells != 1 {
+		t.Errorf("baseline contributed %d grid cells, want 1 (boost axes collapsed)", baselineCells)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package explore
+
+// raceEnabled reports whether the race detector is active; heavyweight scale
+// tests skip under it (they run race-free in a dedicated CI step).
+const raceEnabled = true

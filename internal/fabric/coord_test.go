@@ -408,6 +408,33 @@ func TestFrontierForwarding(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad query: status %d, want 400", resp.StatusCode)
 	}
+
+	// A tiered query forwards the same way, and the worker's
+	// screened/confirmed counters surface in the cluster stats.
+	tiered, err := labd.NewClient(ts.URL).Frontier(map[string]string{
+		"ilp": "1,4", "entropy": "0,1", "mem": "4", "code": "1",
+		"passes": "1", "fe": "0,25,50,75,100", "be": "0,50,100", "n": "2000",
+		"tier": "analytic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiered.Tier != "analytic" || tiered.ConfirmedCells == 0 {
+		t.Fatalf("tiered reply through the fabric: %+v", tiered)
+	}
+	var stats ClusterStats
+	resp2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.AnalyticCells != uint64(tiered.ScreenedCells) || stats.ConfirmedCells != uint64(tiered.ConfirmedCells) {
+		t.Fatalf("cluster stats report %d screened / %d confirmed, reply said %d / %d",
+			stats.AnalyticCells, stats.ConfirmedCells, tiered.ScreenedCells, tiered.ConfirmedCells)
+	}
 }
 
 // TestCheckWorkers: the registration gate names unreachable workers.

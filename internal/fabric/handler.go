@@ -44,10 +44,15 @@ type CoordStats struct {
 // workers' run-cache counters, so clients (labload) compute cluster-wide
 // memory/disk/sim tier hit rates the same way they would for one labd.
 type ClusterStats struct {
-	Cache         lab.Stats     `json:"cache"`
-	Coord         CoordStats    `json:"coord"`
-	Workers       []WorkerStats `json:"workers"`
-	UptimeSeconds float64       `json:"uptime_seconds"`
+	Cache lab.Stats  `json:"cache"`
+	Coord CoordStats `json:"coord"`
+	// AnalyticCells / ConfirmedCells sum the workers' two-tier frontier
+	// counters: cells screened analytically versus cells simulated
+	// cycle-accurately, cluster-wide.
+	AnalyticCells  uint64        `json:"analytic_cells"`
+	ConfirmedCells uint64        `json:"confirmed_cells"`
+	Workers        []WorkerStats `json:"workers"`
+	UptimeSeconds  float64       `json:"uptime_seconds"`
 }
 
 // ClusterHealth is the coordinator's /v1/health body.
@@ -148,6 +153,8 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			reply.Cache.Misses += st.Cache.Misses
 			reply.Cache.InFlight += st.Cache.InFlight
 			reply.Cache.Entries += st.Cache.Entries
+			reply.AnalyticCells += st.AnalyticCells
+			reply.ConfirmedCells += st.ConfirmedCells
 		}
 		reply.Workers = append(reply.Workers, ws)
 	}

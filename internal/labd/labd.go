@@ -15,7 +15,13 @@
 //	                   simulate once.
 //	GET  /v1/frontier  explore-style Pareto query; parameters mirror the
 //	                   explore CLI flags (ilp, entropy, fp, mem, stride,
-//	                   rr, code, seed, passes, arch, fe, be, node, n).
+//	                   rr, code, seed, passes, arch, fe, be, node, n,
+//	                   tier, margin, audit, auditseed). tier=analytic
+//	                   screens the grid with a calibrated closed-form
+//	                   model and simulates only cells near the predicted
+//	                   frontier; tier=auto picks by grid size. The
+//	                   calibration runs flow through the shared cache, so
+//	                   they persist in the store like any sweep job.
 //	GET  /v1/stats     cache hit/miss/in-flight counters, store size,
 //	                   uptime and the store version stamp.
 //	GET  /v1/health    liveness probe: {"status":"ok",...}. Coordinators
@@ -38,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flywheel/internal/analytic"
 	"flywheel/internal/explore"
 	"flywheel/internal/lab"
 	"flywheel/internal/lab/store"
@@ -94,6 +101,12 @@ type StatsReply struct {
 	// CanceledJobs counts sweep jobs skipped because their request's
 	// context ended before they started simulating.
 	CanceledJobs uint64 `json:"canceled_jobs"`
+	// AnalyticCells and ConfirmedCells account the two-tier frontier
+	// queries served so far: grid cells screened by the analytic model
+	// versus cells escalated to the cycle-accurate simulator. Their ratio
+	// is the service's observed screening leverage.
+	AnalyticCells  uint64 `json:"analytic_cells"`
+	ConfirmedCells uint64 `json:"confirmed_cells"`
 }
 
 // HealthReply is the /v1/health body. Coordinators poll it to register and
@@ -118,10 +131,25 @@ type FrontierPoint struct {
 	TimePS      int64   `json:"time_ps"`
 }
 
-// FrontierReply is the /v1/frontier body.
+// FrontierReply is the /v1/frontier body. Tiered queries (tier=analytic,
+// or tier=auto resolving to analytic) additionally report how the grid
+// split between the model and the simulator and how well the model
+// predicted the cells that were confirmed.
 type FrontierReply struct {
 	GridPoints int             `json:"grid_points"`
+	Tier       string          `json:"tier"`
 	Frontier   []FrontierPoint `json:"frontier"`
+
+	// ScreenedCells + ConfirmedCells == GridPoints for tiered queries;
+	// both are zero for exact ones.
+	ScreenedCells  int `json:"screened_cells,omitempty"`
+	ConfirmedCells int `json:"confirmed_cells,omitempty"`
+	// Margin is the frontier slack the screen actually used (relevant when
+	// the server derived it from the model's training error).
+	Margin float64 `json:"margin,omitempty"`
+	// PredictionErr compares the model against the simulator on the
+	// confirmed cells — measured, not in-sample, error.
+	PredictionErr *analytic.Summary `json:"prediction_err,omitempty"`
 }
 
 // Server fronts one shared cache. Every request — sweep or frontier, any
@@ -139,6 +167,8 @@ type Server struct {
 
 	droppedReplies atomic.Uint64
 	canceledJobs   atomic.Uint64
+	analyticCells  atomic.Uint64
+	confirmedCells atomic.Uint64
 }
 
 // NewServer wraps the cache in a service.
@@ -315,32 +345,116 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 		axes.Instructions = n
 	}
 
+	tier := q.Get("tier")
+	switch tier {
+	case "", "exact", "analytic", "auto":
+	default:
+		http.Error(w, fmt.Sprintf("labd: unknown tier %q (want exact, analytic or auto)", tier), http.StatusBadRequest)
+		return
+	}
+	topt := explore.TieredOptions{Audit: explore.DefaultAudit, AuditSeed: 1}
+	if v := q.Get("margin"); v != "" {
+		m, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "labd: bad margin: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		topt.Margin = m
+	}
+	if v := q.Get("audit"); v != "" {
+		a, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "labd: bad audit: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		topt.Audit = a
+	}
+	if v := q.Get("auditseed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "labd: bad auditseed: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		topt.AuditSeed = seed
+	}
+	if tier == "analytic" || tier == "auto" {
+		// The exact guard protects against queueing hours of simulation; a
+		// screened grid costs nanoseconds per cell, so it can be far wider.
+		axes.MaxPoints = 262_144
+	}
+
 	space, err := axes.Space()
 	if err != nil {
 		http.Error(w, "labd: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	rep, err := explore.Explore(space, explore.Options{Cache: s.cache})
+	opt := explore.Options{Cache: s.cache}
+
+	useAnalytic := tier == "analytic"
+	if tier == "auto" {
+		plan, err := explore.NewPlan(space)
+		if err != nil {
+			http.Error(w, "labd: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		useAnalytic = plan.Cells() >= 4*explore.CalibrationConfig(space, opt).Cells()
+	}
+	if useAnalytic {
+		model, err := analytic.Calibrate(explore.CalibrationConfig(space, opt))
+		if err != nil {
+			http.Error(w, "labd: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		topt.Options = opt
+		rep, err := explore.ExploreTiered(space, model, topt)
+		if err != nil {
+			http.Error(w, "labd: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.analyticCells.Add(uint64(len(rep.Predicted) - len(rep.Confirmed)))
+		s.confirmedCells.Add(uint64(len(rep.Confirmed)))
+		reply := FrontierReply{
+			GridPoints:     len(rep.Predicted),
+			Tier:           "analytic",
+			Frontier:       []FrontierPoint{},
+			ScreenedCells:  len(rep.Predicted) - len(rep.Confirmed),
+			ConfirmedCells: len(rep.Confirmed),
+			Margin:         rep.Margin,
+			PredictionErr:  &rep.Err,
+		}
+		for _, p := range rep.Frontier() {
+			reply.Frontier = append(reply.Frontier, frontierPoint(p))
+		}
+		s.writeJSON(w, r, reply)
+		return
+	}
+
+	rep, err := explore.Explore(space, opt)
 	if err != nil {
 		http.Error(w, "labd: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
-	reply := FrontierReply{GridPoints: len(rep.Points), Frontier: []FrontierPoint{}}
+	reply := FrontierReply{GridPoints: len(rep.Points), Tier: "exact", Frontier: []FrontierPoint{}}
 	for _, p := range rep.Frontier() {
-		reply.Frontier = append(reply.Frontier, FrontierPoint{
-			Profile:     p.Profile.String(),
-			Arch:        p.Arch.String(),
-			Node:        float64(p.Node),
-			FEBoostPct:  p.FEBoost,
-			BEBoostPct:  p.BEBoost,
-			Speedup:     p.Speedup,
-			EnergyRatio: p.EnergyRatio,
-			ECResidency: p.Result.ECResidency,
-			IPC:         p.Result.IPC,
-			TimePS:      p.Result.TimePS,
-		})
+		reply.Frontier = append(reply.Frontier, frontierPoint(p))
 	}
 	s.writeJSON(w, r, reply)
+}
+
+// frontierPoint shapes one explore point for the wire.
+func frontierPoint(p explore.Point) FrontierPoint {
+	return FrontierPoint{
+		Profile:     p.Profile.String(),
+		Arch:        p.Arch.String(),
+		Node:        float64(p.Node),
+		FEBoostPct:  p.FEBoost,
+		BEBoostPct:  p.BEBoost,
+		Speedup:     p.Speedup,
+		EnergyRatio: p.EnergyRatio,
+		ECResidency: p.Result.ECResidency,
+		IPC:         p.Result.IPC,
+		TimePS:      p.Result.TimePS,
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -352,6 +466,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		DroppedReplies: s.droppedReplies.Load(),
 		CanceledJobs:   s.canceledJobs.Load(),
+		AnalyticCells:  s.analyticCells.Load(),
+		ConfirmedCells: s.confirmedCells.Load(),
 	}
 	if st := s.cache.Store(); st != nil {
 		entries, bytes := st.Size()

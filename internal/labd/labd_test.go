@@ -241,7 +241,10 @@ func TestFrontierMatchesInProcessExplore(t *testing.T) {
 
 func TestFrontierBadQuery(t *testing.T) {
 	ts, _ := startServer(t, lab.NewCache())
-	for _, q := range []string{"?node=0.42", "?seed=x", "?n=x", "?arch=vliw", "?ilp=abc"} {
+	for _, q := range []string{
+		"?node=0.42", "?seed=x", "?n=x", "?arch=vliw", "?ilp=abc",
+		"?tier=bogus", "?margin=x", "?audit=x", "?auditseed=x",
+	} {
 		resp, err := http.Get(ts.URL + "/v1/frontier" + q)
 		if err != nil {
 			t.Fatal(err)
@@ -271,5 +274,104 @@ func TestNodeDefaultNormalizedOverWire(t *testing.T) {
 	}
 	if cache.Misses() != 1 {
 		t.Fatalf("defaulted duplicate simulated twice: %d misses", cache.Misses())
+	}
+}
+
+// TestFrontierTierAnalytic: a tiered query calibrates through the shared
+// cache, screens most of the grid analytically, confirms the rest
+// cycle-accurately, and the screened/confirmed split shows up both in the
+// reply and in /v1/stats.
+func TestFrontierTierAnalytic(t *testing.T) {
+	cache := lab.NewCache()
+	_, client := startServer(t, cache)
+	params := map[string]string{
+		"ilp": "1,4", "entropy": "0,1", "mem": "4", "code": "1",
+		"passes": "1", "fe": "0,25,50,75,100", "be": "0,50,100", "n": "2000",
+		"tier": "analytic",
+	}
+	reply, err := client.Frontier(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Tier != "analytic" {
+		t.Fatalf("tier %q, want analytic", reply.Tier)
+	}
+	if reply.GridPoints != 60 { // 4 profiles × 5 FE × 3 BE
+		t.Fatalf("grid points = %d, want 60", reply.GridPoints)
+	}
+	if reply.ScreenedCells+reply.ConfirmedCells != reply.GridPoints {
+		t.Fatalf("screened %d + confirmed %d != grid %d",
+			reply.ScreenedCells, reply.ConfirmedCells, reply.GridPoints)
+	}
+	if reply.ConfirmedCells == 0 || reply.ConfirmedCells >= reply.GridPoints {
+		t.Fatalf("confirmed %d of %d cells; want a non-trivial strict subset",
+			reply.ConfirmedCells, reply.GridPoints)
+	}
+	if reply.Margin <= 0 {
+		t.Fatalf("margin %v not auto-derived", reply.Margin)
+	}
+	if reply.PredictionErr == nil || reply.PredictionErr.Cells != reply.ConfirmedCells {
+		t.Fatalf("prediction error summary %+v does not cover the %d confirmed cells",
+			reply.PredictionErr, reply.ConfirmedCells)
+	}
+	if len(reply.Frontier) == 0 {
+		t.Fatal("empty tiered frontier")
+	}
+	for _, p := range reply.Frontier {
+		if p.Speedup <= 0 || p.EnergyRatio <= 0 {
+			t.Fatalf("implausible frontier point: %+v", p)
+		}
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AnalyticCells != uint64(reply.ScreenedCells) || st.ConfirmedCells != uint64(reply.ConfirmedCells) {
+		t.Fatalf("stats report %d screened / %d confirmed, reply said %d / %d",
+			st.AnalyticCells, st.ConfirmedCells, reply.ScreenedCells, reply.ConfirmedCells)
+	}
+
+	// A repeat of the same query is deterministic and served from the warm
+	// cache — no new simulations — while the tier counters keep accruing.
+	misses := cache.Misses()
+	again, err := client.Frontier(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(reply)
+	b, _ := json.Marshal(again)
+	if string(a) != string(b) {
+		t.Fatalf("tiered frontier not deterministic:\n%s\n%s", a, b)
+	}
+	if cache.Misses() != misses {
+		t.Fatalf("repeat query simulated %d new cells", cache.Misses()-misses)
+	}
+	st2, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ConfirmedCells != 2*uint64(reply.ConfirmedCells) {
+		t.Fatalf("confirmed counter %d after two identical queries, want %d",
+			st2.ConfirmedCells, 2*reply.ConfirmedCells)
+	}
+}
+
+// TestFrontierTierAuto: a grid smaller than the calibration cost resolves
+// to the exact tier.
+func TestFrontierTierAuto(t *testing.T) {
+	_, client := startServer(t, lab.NewCache())
+	reply, err := client.Frontier(map[string]string{
+		"ilp": "1", "entropy": "0", "mem": "4", "code": "1",
+		"passes": "1", "fe": "0,50", "n": "2000", "tier": "auto",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Tier != "exact" {
+		t.Fatalf("tiny auto grid used tier %q, want exact", reply.Tier)
+	}
+	if reply.ScreenedCells != 0 || reply.ConfirmedCells != 0 || reply.PredictionErr != nil {
+		t.Fatalf("exact reply carries tiered fields: %+v", reply)
 	}
 }

@@ -8,10 +8,15 @@ import (
 	"strings"
 )
 
-// Ratio formats a/b, returning 0 when b is zero.
+// Ratio returns a/b, or NaN when b is zero. A zero denominator means the
+// baseline measurement is degenerate, and no finite convention is safe: the
+// old "return 0" made a broken baseline produce an EnergyRatio of 0, which
+// Pareto-dominated every real point and silently corrupted the frontier.
+// NaN instead poisons every comparison, and consumers (explore.markFrontier)
+// exclude NaN points from dominance explicitly.
 func Ratio(a, b float64) float64 {
 	if b == 0 {
-		return 0
+		return math.NaN()
 	}
 	return a / b
 }

@@ -10,8 +10,14 @@ func TestRatio(t *testing.T) {
 	if Ratio(6, 3) != 2 {
 		t.Error("ratio wrong")
 	}
-	if Ratio(1, 0) != 0 {
-		t.Error("divide by zero not guarded")
+	// A zero denominator must not produce a finite value: the old
+	// "Ratio(x, 0) == 0" convention made a degenerate baseline dominate
+	// every real point in Pareto comparisons.
+	if got := Ratio(1, 0); !math.IsNaN(got) {
+		t.Errorf("Ratio(1, 0) = %v, want NaN", got)
+	}
+	if got := Ratio(0, 0); !math.IsNaN(got) {
+		t.Errorf("Ratio(0, 0) = %v, want NaN", got)
 	}
 }
 
