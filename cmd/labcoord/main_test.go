@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"flywheel/internal/fabric"
 	"flywheel/internal/lab"
 	"flywheel/internal/labd"
 	"flywheel/internal/sim"
@@ -150,6 +152,59 @@ func TestBadFlags(t *testing.T) {
 		var out, errb bytes.Buffer
 		if code := run(args, &out, &errb, nil); code != 2 {
 			t.Errorf("args %v: exit code %d, want 2", args, code)
+		}
+	}
+}
+
+// TestResilienceFlagsAndScrub: the packaged coordinator accepts the
+// breaker/probe/deadline flags, surfaces per-worker breaker state on
+// /v1/health, and fans POST /v1/scrub out to every worker.
+func TestResilienceFlagsAndScrub(t *testing.T) {
+	workers := startWorkers(t, 2)
+	addr, _ := startCoord(t, workers,
+		"-breaker-threshold", "2",
+		"-breaker-cooldown", "100ms",
+		"-probe-interval", "25ms",
+		"-job-timeout", "30s",
+		"-retry-backoff-max", "1s",
+	)
+
+	resp, err := http.Get("http://" + addr + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health fabric.ClusterHealth
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if len(health.Breakers) != 2 {
+		t.Fatalf("health lists %d breakers, want 2: %+v", len(health.Breakers), health)
+	}
+	for _, u := range workers {
+		if health.Breakers[u] != "closed" {
+			t.Fatalf("breaker for %s is %q, want closed", u, health.Breakers[u])
+		}
+	}
+
+	sresp, err := http.Post("http://"+addr+"/v1/scrub", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("scrub status %d", sresp.StatusCode)
+	}
+	var scrub fabric.ClusterScrub
+	if err := json.NewDecoder(sresp.Body).Decode(&scrub); err != nil {
+		t.Fatal(err)
+	}
+	if len(scrub.Workers) != 2 {
+		t.Fatalf("scrub reached %d workers, want 2: %+v", len(scrub.Workers), scrub)
+	}
+	for _, w := range scrub.Workers {
+		if w.Error != "" {
+			t.Fatalf("worker %s scrub error: %s", w.URL, w.Error)
 		}
 	}
 }

@@ -61,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer, ctl *control) int {
 		storeDir = fs.String("store", "", "persistent result-store directory (empty = memory only; results die with the process)")
 		shard    = fs.Int("shard", -1, "shard index: open <store>/shard-<n> instead of <store> (requires -store; for labcoord clusters)")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+		scrub    = fs.Bool("scrub", false, "one-shot integrity audit: verify the store and trace spill, quarantine corrupt files, exit (0 clean, 3 corruption found; requires -store)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer, ctl *control) int {
 	}
 	if *shard >= 0 && *storeDir == "" {
 		fmt.Fprintln(stderr, "labd: -shard requires -store")
+		return 2
+	}
+	if *scrub && *storeDir == "" {
+		fmt.Fprintln(stderr, "labd: -scrub requires -store")
 		return 2
 	}
 
@@ -91,6 +96,10 @@ func run(args []string, stdout, stderr io.Writer, ctl *control) int {
 		// workers spill under their own shard directory.
 		sim.SetTraceSpillDir(filepath.Join(dir, "traces"))
 		fmt.Fprintf(stdout, "labd: store %s (version %s)\n", st.Dir(), store.Version())
+	}
+
+	if *scrub {
+		return runScrub(cache, stdout, stderr)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -117,5 +126,28 @@ func run(args []string, stdout, stderr io.Writer, ctl *control) int {
 		return 1
 	}
 	fmt.Fprintln(stdout, "labd: drained, bye")
+	return 0
+}
+
+// runScrub audits the opened store offline — same walk the service runs
+// for POST /v1/scrub — and reports every quarantined file. Exit code 3
+// (not 1, which means "could not run") tells scripts corruption was found
+// and moved aside.
+func runScrub(cache *lab.Cache, stdout, stderr io.Writer) int {
+	service := labd.NewServer(cache)
+	service.SetLogf(func(string, ...any) {})
+	rep, err := service.Scrub()
+	if err != nil {
+		fmt.Fprintln(stderr, "labd: scrub:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "labd: scrub %s: %d entries, %d traces checked, %d quarantined\n",
+		rep.Dir, rep.Entries, rep.Traces, len(rep.Quarantined))
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(stdout, "labd: quarantined %s -> %s (%s)\n", q.Path, q.To, q.Reason)
+	}
+	if len(rep.Quarantined) > 0 {
+		return 3
+	}
 	return 0
 }

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"flywheel/internal/lab/store"
 )
 
 // startLabd runs the command against port 0 and returns its base URL plus
@@ -187,5 +189,50 @@ func TestBadListenAddr(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-addr", "256.0.0.1:-1"}, &out, &errb, nil); code != 1 {
 		t.Errorf("exit %d, want 1 for a bad listen address", code)
+	}
+}
+
+// TestScrubOneShot: -scrub audits the store offline — exit 0 on a clean
+// tree, exit 3 (with the quarantine listed) when corruption was found and
+// moved aside, and a second pass over the cleaned tree is quiet again.
+func TestScrubOneShot(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-store", dir, "-scrub"}, &out, &errb, nil); code != 0 {
+		t.Fatalf("clean scrub exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "0 quarantined") {
+		t.Fatalf("clean scrub report: %s", out.String())
+	}
+
+	// Plant an unparseable entry where real results live.
+	bad := filepath.Join(dir, store.Version(), "deadbeef.json")
+	if err := os.MkdirAll(filepath.Dir(bad), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte("{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-store", dir, "-scrub"}, &out, &errb, nil); code != 3 {
+		t.Fatalf("dirty scrub exit %d, want 3\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "1 quarantined") || !strings.Contains(out.String(), "deadbeef.json") {
+		t.Fatalf("dirty scrub report: %s", out.String())
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatal("corrupt file still in place after -scrub")
+	}
+
+	out.Reset()
+	if code := run([]string{"-store", dir, "-scrub"}, &out, &errb, nil); code != 0 {
+		t.Fatalf("post-quarantine scrub exit %d, stdout: %s", code, out.String())
+	}
+}
+
+func TestScrubRequiresStore(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scrub"}, &out, &errb, nil); code != 2 {
+		t.Errorf("exit %d, want 2 for -scrub without -store", code)
 	}
 }

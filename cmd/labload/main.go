@@ -9,9 +9,16 @@
 // worst case for a sharded fabric, since hot keys pile onto one worker and
 // exercise its stealing and hedging paths.
 //
+// With -chaos it doubles as a self-checking failure drill: a seeded fault
+// injector sits between the generator and the service, dropping requests,
+// synthesizing 5xx and cutting NDJSON streams mid-flight, and the run
+// reports how many cuts the client's resume path absorbed (-minresumes
+// turns that into a pass/fail gate for CI).
+//
 // Usage:
 //
 //	labload -url http://127.0.0.1:8080 -c 8 -n 200 -batch 4 -zipf 1.2
+//	labload -url http://127.0.0.1:8080 -n 100 -chaos 7 -minresumes 1
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -27,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flywheel/internal/chaos"
 	"flywheel/internal/lab"
 	"flywheel/internal/labd"
 	"flywheel/internal/sim"
@@ -58,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ninstr   = fs.Int("ninstr", 20000, "instructions per simulated job")
 		seed     = fs.Int64("seed", 1, "random seed (runs are reproducible)")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "per-request timeout")
+		chaosSee = fs.Uint64("chaos", 0, "inject seeded transport faults (drops, 5xx, mid-stream cuts, delays) into this run's requests; 0 disables")
+		minRes   = fs.Int("minresumes", 0, "fail the run unless at least this many stream resumes happened (chaos smoke gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,6 +92,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	universe := buildUniverse(*space, *ninstr)
 	client := labd.NewClient(*url)
+	var injector *chaos.RoundTripper
+	if *chaosSee != 0 {
+		// A mix that leans on every recovery path: resumable stream cuts
+		// dominate, with a sprinkle of connection drops, synthesized 5xx
+		// (including 503s that exercise the shed/retry loop), and delays.
+		injector = chaos.New(chaos.Plan{
+			Seed:     *chaosSee,
+			Drop:     0.03,
+			Err5xx:   0.03,
+			Truncate: 0.10,
+			Delay:    0.05,
+			MaxDelay: 50 * time.Millisecond,
+			// Sweeps only: the bracketing /v1/stats calls must stay
+			// reliable or the report itself becomes flaky.
+			PathSubstr: "/v1/sweep",
+		}, nil)
+		client.HTTPClient = &http.Client{Transport: injector}
+	}
 
 	before, err := client.Stats()
 	if err != nil {
@@ -129,6 +158,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	report(stdout, samples, elapsed, shed.Load(), before.Cache, after.Cache)
+	if injector != nil {
+		fmt.Fprintf(stdout, "chaos: %s; client resumed %d truncated streams\n", injector.Counts(), client.Resumes())
+	}
+	if int(client.Resumes()) < *minRes {
+		fmt.Fprintf(stderr, "labload: only %d stream resumes, -minresumes wanted %d\n", client.Resumes(), *minRes)
+		return 1
+	}
 	return 0
 }
 

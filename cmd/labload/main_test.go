@@ -80,3 +80,42 @@ func TestBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosDrill: with -chaos the run injects seeded transport faults and
+// the client's resume path absorbs the stream cuts; -minresumes turns the
+// absorption into a hard gate. Fault draws depend on the ephemeral port,
+// so the assertion is "recovery happened", not an exact count.
+func TestChaosDrill(t *testing.T) {
+	url := startWorker(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-url", url, "-n", "60", "-c", "4", "-batch", "2",
+		"-space", "8", "-frontier", "0", "-ninstr", "2000",
+		"-chaos", "7", "-minresumes", "1",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "chaos:") || !strings.Contains(got, "resumed") {
+		t.Fatalf("report missing chaos summary:\n%s", got)
+	}
+}
+
+// TestMinResumesGate: a clean run that cannot possibly resume fails the
+// gate with a diagnostic instead of passing vacuously.
+func TestMinResumesGate(t *testing.T) {
+	url := startWorker(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-url", url, "-n", "4", "-c", "1", "-batch", "1",
+		"-space", "4", "-frontier", "0", "-ninstr", "2000",
+		"-minresumes", "999",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(errb.String(), "minresumes") {
+		t.Fatalf("gate failure not diagnosed: %s", errb.String())
+	}
+}

@@ -1,0 +1,113 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-shard circuit breaker. A run of consecutive transport failures
+// trips the shard open: it is ejected from candidate routing (jobs route
+// to ring replicas instead) so a dead or drowning worker stops eating
+// retries and latency. After a cooldown the breaker admits trial traffic
+// again (half-open) — a health probe or, when every replica is down, a
+// real request — and one success rejoins the shard; one failure re-arms
+// the cooldown. Job-level errors never trip it: those are deterministic
+// simulation failures, not worker health.
+//
+// States: closed (healthy) → open (ejected) → half-open (trialing) →
+// closed, with half-open → open on a failed trial.
+
+const (
+	breakerClosed int = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	threshold int           // consecutive failures to trip
+	cooldown  time.Duration // open time before trial traffic
+
+	mu          sync.Mutex
+	state       int
+	consecutive int       // failures since the last success
+	openedAt    time.Time // when the breaker last tripped or re-armed
+	trips       uint64
+	rejoins     uint64
+}
+
+// onSuccess records a completed request or probe: the shard is healthy.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.rejoins++
+	}
+}
+
+// onFailure records a transport failure. Callers must not report
+// cancellations caused by their own context.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	switch b.state {
+	case breakerHalfOpen:
+		// The trial failed: re-arm the cooldown.
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	case breakerClosed:
+		if b.consecutive >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.trips++
+		}
+	}
+}
+
+// routable reports whether the shard should receive normal traffic,
+// promoting open → half-open once the cooldown has elapsed (the caller's
+// request becomes the trial).
+func (b *breaker) routable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		b.state = breakerHalfOpen
+	}
+	return b.state != breakerOpen
+}
+
+// probeDue reports whether the health-probe loop should test the shard
+// this tick: always, except while an open breaker is still cooling down.
+func (b *breaker) probeDue() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen {
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+	}
+	return true
+}
+
+// label returns the state for stats surfaces.
+func (b *breaker) label() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+func (b *breaker) counters() (trips, rejoins uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.rejoins
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"sync"
@@ -36,9 +37,27 @@ type Options struct {
 	// rejected with 503 + Retry-After. Zero defaults to 16384.
 	MaxPending int
 	// RetryBackoff is the base delay before retrying a failed shard
-	// request on the next replica (grows linearly per attempt). Zero
-	// defaults to 50ms.
+	// request on the next replica; it doubles per attempt up to
+	// RetryBackoffMax, with full jitter so concurrent retries spread out
+	// instead of stampeding a recovering worker. Zero defaults to 50ms.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential growth. Zero defaults to 2s.
+	RetryBackoffMax time.Duration
+	// JobTimeout bounds one job request to one shard: a worker that
+	// accepts a request and then never writes its line is failed over
+	// instead of hanging the sweep. Zero defaults to 2m; negative
+	// disables the deadline.
+	JobTimeout time.Duration
+	// BreakerThreshold is the consecutive transport-failure count that
+	// trips a shard's circuit breaker (ejecting it from routing). Zero
+	// defaults to 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped shard stays ejected before
+	// trial traffic may re-admit it. Zero defaults to 5s.
+	BreakerCooldown time.Duration
+	// ProbeInterval paces StartHealthProbes' background health checks.
+	// Zero defaults to 2s.
+	ProbeInterval time.Duration
 	// HedgeDelayMin floors the hedging trigger: a job is duplicated to the
 	// next replica when its shard has not answered within
 	// max(HedgeDelayMin, shard p99). Zero defaults to 250ms.
@@ -78,6 +97,21 @@ func (o *Options) fill() error {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 50 * time.Millisecond
 	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 2 * time.Second
+	}
+	if o.JobTimeout == 0 {
+		o.JobTimeout = 2 * time.Minute
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
 	if o.HedgeDelayMin <= 0 {
 		o.HedgeDelayMin = 250 * time.Millisecond
 	}
@@ -94,6 +128,7 @@ type shard struct {
 	url    string
 	client *labd.Client
 	sem    chan struct{}
+	brk    breaker
 
 	requests atomic.Uint64
 	failures atomic.Uint64
@@ -147,6 +182,7 @@ type Coordinator struct {
 	steals   atomic.Uint64
 	rejected atomic.Uint64
 	dropped  atomic.Uint64
+	probes   atomic.Uint64
 }
 
 // New builds a coordinator over the given workers. It does not contact
@@ -165,10 +201,15 @@ func New(opt Options) (*Coordinator, error) {
 	for _, url := range c.order {
 		cl := labd.NewClient(url)
 		cl.HTTPClient = opt.HTTPClient
+		// The fabric owns failure policy — retry on a replica, hedge,
+		// breaker — so its shard clients must fail fast, not resume
+		// against the same possibly-dead worker.
+		cl.MaxResumes = -1
 		c.shards[url] = &shard{
 			url:    url,
 			client: cl,
 			sem:    make(chan struct{}, opt.MaxInFlightPerShard),
+			brk:    breaker{threshold: opt.BreakerThreshold, cooldown: opt.BreakerCooldown},
 		}
 	}
 	return c, nil
@@ -258,7 +299,7 @@ func (c *Coordinator) Sweep(ctx context.Context, jobs []lab.Job, emit func(labd.
 	keys := make([]string, len(jobs))
 	for i, j := range jobs {
 		keys[i] = j.Key()
-		queues.push(c.ring.Owner(keys[i]), i)
+		queues.push(c.routeOwner(keys[i]), i)
 	}
 
 	ready := make([]chan labd.SweepLine, len(jobs))
@@ -356,7 +397,7 @@ func (c *Coordinator) runJob(ctx context.Context, execer *shard, job lab.Job, ke
 			lastErr = a.err
 			if next < len(cands) {
 				c.retries.Add(1)
-				if !sleepCtx(ctx, time.Duration(next)*c.opt.RetryBackoff) {
+				if !sleepCtx(ctx, c.retryDelay(next)) {
 					return labd.SweepLine{Error: ctx.Err().Error()}
 				}
 				launch()
@@ -370,7 +411,10 @@ func (c *Coordinator) runJob(ctx context.Context, execer *shard, job lab.Job, ke
 // candidates orders the shards a job may run on: the shard that dequeued
 // it first (cache-warm for owners, already-idle for stealers), then the
 // ring owners it is not, so failover lands on the replicas that may
-// already hold the result on disk.
+// already hold the result on disk. Shards with an open breaker sink to
+// the back as a last resort — a job is never starved even with the whole
+// cluster ejected, and that desperate request doubles as the breaker's
+// half-open trial.
 func (c *Coordinator) candidates(execer *shard, key string) []*shard {
 	cands := []*shard{execer}
 	for _, url := range c.ring.Owners(key, c.opt.Replicas) {
@@ -378,7 +422,45 @@ func (c *Coordinator) candidates(execer *shard, key string) []*shard {
 			cands = append(cands, c.shards[url])
 		}
 	}
-	return cands
+	var up, down []*shard
+	for _, sh := range cands {
+		if sh.brk.routable() {
+			up = append(up, sh)
+		} else {
+			down = append(down, sh)
+		}
+	}
+	return append(up, down...)
+}
+
+// routeOwner picks the shard a job queues on: its first ring owner whose
+// breaker admits traffic, so an ejected worker's keys fail over to their
+// replicas (whose stores they warm) instead of queueing on a corpse. With
+// every owner ejected the primary keeps the job.
+func (c *Coordinator) routeOwner(key string) string {
+	owners := c.ring.Owners(key, len(c.order))
+	for _, url := range owners {
+		if c.shards[url].brk.routable() {
+			return url
+		}
+	}
+	return owners[0]
+}
+
+// retryDelay is exponential backoff with full jitter: attempt n (1-based)
+// draws uniformly from [base·2ⁿ⁻¹/2, base·2ⁿ⁻¹], capped at
+// RetryBackoffMax, so concurrent retries against a recovering worker
+// spread out instead of arriving as a synchronized wave.
+func (c *Coordinator) retryDelay(attempt int) time.Duration {
+	d := c.opt.RetryBackoff
+	for i := 1; i < attempt && d < c.opt.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.opt.RetryBackoffMax {
+		d = c.opt.RetryBackoffMax
+	}
+	half := d / 2
+	return half + rand.N(half+1)
 }
 
 func (c *Coordinator) hedgeDelay(sh *shard) time.Duration {
@@ -400,22 +482,90 @@ func (c *Coordinator) oneRequest(ctx context.Context, sh *shard, job lab.Job) (l
 	}
 	defer func() { <-sh.sem }()
 
+	// The per-job deadline: a worker that accepts the request and then
+	// never writes its line fails over instead of hanging the sweep.
+	jctx := ctx
+	if c.opt.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, c.opt.JobTimeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	lines, err := sh.client.SweepContext(ctx, labd.SweepRequest{Jobs: []lab.Job{job}})
+	lines, err := sh.client.SweepContext(jctx, labd.SweepRequest{Jobs: []lab.Job{job}})
 	sh.observe(time.Since(start))
 	sh.requests.Add(1)
 	if len(lines) == 1 {
 		// Complete reply; a job-level error rides in the line and is
 		// terminal — the simulation is deterministic, so another shard
 		// would fail identically.
+		sh.brk.onSuccess()
 		return lines[0], nil
 	}
 	if err == nil {
 		err = fmt.Errorf("fabric: %s returned %d lines for 1 job", sh.url, len(lines))
 	}
 	sh.failures.Add(1)
+	if ctx.Err() == nil {
+		// Shard health signal — but not when the "failure" is our own
+		// cancellation (a hedged straggler reeled in, or the sweep ending).
+		sh.brk.onFailure()
+	}
 	c.opt.Logf("fabric: %s: %v", sh.url, err)
 	return labd.SweepLine{}, fmt.Errorf("fabric: %s: %w", sh.url, err)
+}
+
+// StartHealthProbes launches the background loop feeding the per-shard
+// circuit breakers independently of sweep traffic: every ProbeInterval
+// each shard's /v1/health is checked (an open breaker is left alone until
+// its cooldown elapses, then the probe is its half-open trial). Probe
+// successes rejoin ejected shards even when no sweeps are running; probe
+// failures eject a silently dead worker before a sweep trips over it.
+// The loop stops when ctx ends.
+func (c *Coordinator) StartHealthProbes(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(c.opt.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			c.probeOnce(ctx)
+		}
+	}()
+}
+
+// probeOnce checks every due shard's health concurrently and feeds the
+// results to the breakers. Exposed to tests via Coordinator internals.
+func (c *Coordinator) probeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, url := range c.order {
+		sh := c.shards[url]
+		if !sh.brk.probeDue() {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			hctx, cancel := context.WithTimeout(ctx, c.opt.ProbeInterval)
+			defer cancel()
+			h, err := sh.client.Health(hctx)
+			switch {
+			case err == nil && h.Status == "ok":
+				sh.brk.onSuccess()
+			case ctx.Err() == nil:
+				old := sh.brk.label()
+				sh.brk.onFailure()
+				if now := sh.brk.label(); now == "open" && old != "open" {
+					c.opt.Logf("fabric: breaker opened for %s: %v", sh.url, err)
+				}
+			}
+		}(sh)
+	}
+	wg.Wait()
+	c.probes.Add(1)
 }
 
 // sleepCtx sleeps d or until ctx ends; it reports whether the full sleep

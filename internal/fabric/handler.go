@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"flywheel/internal/lab"
@@ -22,6 +23,11 @@ type WorkerStats struct {
 	Requests uint64  `json:"requests"`
 	Failures uint64  `json:"failures"`
 	P99Ms    float64 `json:"p99_ms"`
+	// Breaker is the shard's circuit-breaker state (closed / open /
+	// half-open); Trips and Rejoins count its lifecycle transitions.
+	Breaker        string `json:"breaker"`
+	BreakerTrips   uint64 `json:"breaker_trips"`
+	BreakerRejoins uint64 `json:"breaker_rejoins"`
 	// Stats is the worker's own /v1/stats reply; Error is set instead when
 	// the worker was unreachable.
 	Stats *labd.StatsReply `json:"stats,omitempty"`
@@ -38,6 +44,8 @@ type CoordStats struct {
 	Rejected       uint64 `json:"rejected"`
 	DroppedReplies uint64 `json:"dropped_replies"`
 	Pending        int64  `json:"pending"`
+	// ProbeRounds counts StartHealthProbes sweeps over the cluster.
+	ProbeRounds uint64 `json:"probe_rounds"`
 }
 
 // ClusterStats is the coordinator's /v1/stats body. Cache sums the
@@ -59,6 +67,10 @@ type ClusterStats struct {
 type ClusterHealth struct {
 	Status  string          `json:"status"` // "ok" when every worker is; "degraded" when some are
 	Workers map[string]bool `json:"workers"`
+	// Breakers maps each worker to its circuit-breaker state; any open
+	// breaker also degrades Status (the shard is ejected from routing even
+	// if a fresh probe would reach it).
+	Breakers map[string]string `json:"breakers"`
 }
 
 // Handler returns the coordinator's HTTP routes.
@@ -68,6 +80,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", c.handleStats)
 	mux.HandleFunc("GET /v1/health", c.handleHealth)
 	mux.HandleFunc("GET /v1/frontier", c.handleFrontier)
+	mux.HandleFunc("POST /v1/scrub", c.handleScrub)
 	return mux
 }
 
@@ -132,6 +145,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			Rejected:       c.rejected.Load(),
 			DroppedReplies: c.dropped.Load(),
 			Pending:        c.pending.Load(),
+			ProbeRounds:    c.probes.Load(),
 		},
 		UptimeSeconds: time.Since(c.start).Seconds(),
 	}
@@ -142,7 +156,9 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			Requests: sh.requests.Load(),
 			Failures: sh.failures.Load(),
 			P99Ms:    float64(sh.p99()) / float64(time.Millisecond),
+			Breaker:  sh.brk.label(),
 		}
+		ws.BreakerTrips, ws.BreakerRejoins = sh.brk.counters()
 		st, err := sh.client.StatsContext(r.Context())
 		if err != nil {
 			ws.Error = err.Error()
@@ -162,16 +178,72 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
-	reply := ClusterHealth{Status: "ok", Workers: make(map[string]bool, len(c.order))}
+	reply := ClusterHealth{
+		Status:   "ok",
+		Workers:  make(map[string]bool, len(c.order)),
+		Breakers: make(map[string]string, len(c.order)),
+	}
 	for _, url := range c.order {
-		h, err := c.shards[url].client.Health(r.Context())
+		sh := c.shards[url]
+		h, err := sh.client.Health(r.Context())
 		ok := err == nil && h.Status == "ok"
 		reply.Workers[url] = ok
-		if !ok {
+		reply.Breakers[url] = sh.brk.label()
+		if !ok || reply.Breakers[url] == "open" {
 			reply.Status = "degraded"
 		}
 	}
 	c.writeJSON(w, reply)
+}
+
+// WorkerScrub is one worker's slice of a cluster scrub.
+type WorkerScrub struct {
+	URL string `json:"url"`
+	// Scrub is the worker's /v1/scrub reply; Error is set instead when the
+	// worker was unreachable or refused.
+	Scrub *labd.ScrubReply `json:"scrub,omitempty"`
+	Error string           `json:"error,omitempty"`
+}
+
+// ClusterScrub is the coordinator's /v1/scrub body.
+type ClusterScrub struct {
+	Entries     int           `json:"entries"`
+	Traces      int           `json:"traces"`
+	Quarantined int           `json:"quarantined"`
+	Workers     []WorkerScrub `json:"workers"`
+}
+
+// handleScrub fans a store-integrity scrub out to every worker and
+// aggregates the reports. Workers scrub concurrently — their shards are
+// disjoint directories — and a dead worker yields an error slot, not a
+// failed scrub.
+func (c *Coordinator) handleScrub(w http.ResponseWriter, r *http.Request) {
+	replies := make([]WorkerScrub, len(c.order))
+	var wg sync.WaitGroup
+	for i, url := range c.order {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			replies[i] = WorkerScrub{URL: sh.url}
+			rep, err := sh.client.Scrub(r.Context())
+			if err != nil {
+				replies[i].Error = err.Error()
+				return
+			}
+			replies[i].Scrub = &rep
+		}(i, c.shards[url])
+	}
+	wg.Wait()
+	total := ClusterScrub{Workers: replies}
+	for _, ws := range replies {
+		if ws.Scrub == nil {
+			continue
+		}
+		total.Entries += ws.Scrub.Entries
+		total.Traces += ws.Scrub.Traces
+		total.Quarantined += len(ws.Scrub.Quarantined)
+	}
+	c.writeJSON(w, total)
 }
 
 // handleFrontier forwards the Pareto query to one worker chosen by the

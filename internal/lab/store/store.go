@@ -36,7 +36,8 @@ import (
 
 // schemaVersion is the on-disk format version: the entry JSON shape and
 // the addressing scheme. Bump on incompatible layout changes.
-const schemaVersion = 1
+// v2 added the per-entry payload checksum (entryFile.Sum).
+const schemaVersion = 2
 
 // Version is the combined stamp written into every entry and folded into
 // every address: store schema + simulator model version.
@@ -48,9 +49,27 @@ func Version() string {
 type entryFile struct {
 	// Version and Key are re-checked on read: an entry whose stamp does
 	// not match the address it was found under is ignored.
-	Version string     `json:"version"`
-	Key     string     `json:"key"`
-	Result  sim.Result `json:"result"`
+	Version string `json:"version"`
+	Key     string `json:"key"`
+	// Sum is sha256(version "\n" key "\n" result-bytes): an end-to-end
+	// integrity check over the payload. The address only authenticates
+	// (version, key); without Sum, a flipped bit inside the result JSON
+	// would parse cleanly and serve a silently wrong number forever.
+	Sum string `json:"sum"`
+	// Result stays raw so the checksum is verified over the exact stored
+	// bytes, immune to re-marshaling drift.
+	Result json.RawMessage `json:"result"`
+}
+
+// entrySum computes the integrity checksum an entry must carry.
+func entrySum(version, key string, result []byte) string {
+	h := sha256.New()
+	h.Write([]byte(version))
+	h.Write([]byte{'\n'})
+	h.Write([]byte(key))
+	h.Write([]byte{'\n'})
+	h.Write(result)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Stats counts store traffic since Open.
@@ -74,6 +93,8 @@ type Store struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	manifestMu sync.Mutex // serializes quarantine-manifest appends
 }
 
 // ShardDir returns the store root for one worker of a sharded cluster:
@@ -115,19 +136,50 @@ func (s *Store) Get(key string) (sim.Result, bool) {
 		s.count(func(st *Stats) { st.Misses++ })
 		return sim.Result{}, false
 	}
-	var e entryFile
-	if err := json.Unmarshal(data, &e); err != nil || e.Version != s.version || e.Key != key {
+	res, err := decodeEntry(data, s.version, key)
+	if err != nil {
 		s.count(func(st *Stats) { st.Misses++; st.BadEntries++ })
 		return sim.Result{}, false
 	}
 	s.count(func(st *Stats) { st.Hits++ })
-	return e.Result, true
+	return res, true
+}
+
+// decodeEntry validates one entry file body against the version and key
+// it was addressed by — parse, stamp match, checksum, payload decode —
+// and returns the result or the first reason it cannot be trusted.
+func decodeEntry(data []byte, version, key string) (sim.Result, error) {
+	var e entryFile
+	if err := json.Unmarshal(data, &e); err != nil {
+		return sim.Result{}, fmt.Errorf("unparseable: %w", err)
+	}
+	if e.Version != version {
+		return sim.Result{}, fmt.Errorf("version %q, want %q", e.Version, version)
+	}
+	if e.Key != key {
+		return sim.Result{}, fmt.Errorf("stamped for another key")
+	}
+	if e.Sum != entrySum(version, key, e.Result) {
+		return sim.Result{}, fmt.Errorf("checksum mismatch")
+	}
+	var res sim.Result
+	if err := json.Unmarshal(e.Result, &res); err != nil {
+		return sim.Result{}, fmt.Errorf("bad result payload: %w", err)
+	}
+	return res, nil
 }
 
 // Put persists the result for key atomically. An existing entry is
 // replaced; a crash mid-write leaves the old entry (or none) intact.
 func (s *Store) Put(key string, res sim.Result) error {
-	data, err := json.Marshal(entryFile{Version: s.version, Key: key, Result: res})
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("store: encode %q: %w", key, err)
+	}
+	data, err := json.Marshal(entryFile{
+		Version: s.version, Key: key,
+		Sum: entrySum(s.version, key, raw), Result: raw,
+	})
 	if err != nil {
 		return fmt.Errorf("store: encode %q: %w", key, err)
 	}

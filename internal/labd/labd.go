@@ -26,6 +26,9 @@
 //	                   uptime and the store version stamp.
 //	GET  /v1/health    liveness probe: {"status":"ok",...}. Coordinators
 //	                   (internal/fabric) use it to register workers.
+//	POST /v1/scrub     audit the disk tier: verify every store entry and
+//	                   trace spill file, quarantine corrupt ones, return
+//	                   the report. Safe while serving.
 //
 // Request lifecycle: every sweep job is gated on the request context — a
 // client that disconnects mid-stream stops consuming the service the
@@ -39,8 +42,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -107,6 +112,18 @@ type StatsReply struct {
 	// is the service's observed screening leverage.
 	AnalyticCells  uint64 `json:"analytic_cells"`
 	ConfirmedCells uint64 `json:"confirmed_cells"`
+	// Scrubs counts /v1/scrub passes served; QuarantinedFiles totals the
+	// corrupt files those passes moved aside.
+	Scrubs           uint64 `json:"scrubs"`
+	QuarantinedFiles uint64 `json:"quarantined_files"`
+}
+
+// ScrubReply is the /v1/scrub body: one worker's store-integrity report.
+// Dir is empty when the worker runs memory-only (nothing to scrub).
+type ScrubReply struct {
+	store.ScrubReport
+	Dir     string `json:"dir,omitempty"`
+	Version string `json:"version"`
 }
 
 // HealthReply is the /v1/health body. Coordinators poll it to register and
@@ -169,6 +186,12 @@ type Server struct {
 	canceledJobs   atomic.Uint64
 	analyticCells  atomic.Uint64
 	confirmedCells atomic.Uint64
+	scrubs         atomic.Uint64
+	quarantined    atomic.Uint64
+
+	// scrubMu serializes scrub passes: concurrent scrubs are safe but
+	// would double-count each other's quarantine races.
+	scrubMu sync.Mutex
 }
 
 // NewServer wraps the cache in a service.
@@ -197,7 +220,52 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/frontier", s.handleFrontier)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("POST /v1/scrub", s.handleScrub)
 	return mux
+}
+
+// Scrub audits the worker's disk tier — every store entry plus the trace
+// spill directory that lives alongside it — quarantining anything corrupt
+// so the next request for that key re-simulates instead of trusting bad
+// bytes. Safe (and intended) to run while the worker serves traffic.
+func (s *Server) Scrub() (ScrubReply, error) {
+	reply := ScrubReply{Version: store.Version()}
+	reply.Quarantined = []store.Quarantined{}
+	st := s.cache.Store()
+	if st == nil {
+		return reply, nil // memory-only worker: nothing on disk to audit
+	}
+	s.scrubMu.Lock()
+	defer s.scrubMu.Unlock()
+	rep, err := st.Scrub(store.ScrubOptions{
+		TraceDir:    filepath.Join(st.Dir(), "traces"),
+		VerifyTrace: trace.VerifySpillFile,
+	})
+	if rep != nil {
+		reply.ScrubReport = *rep
+		if reply.Quarantined == nil {
+			reply.Quarantined = []store.Quarantined{}
+		}
+	}
+	reply.Dir = st.Dir()
+	if err != nil {
+		return reply, err
+	}
+	s.scrubs.Add(1)
+	s.quarantined.Add(uint64(len(rep.Quarantined)))
+	if n := len(rep.Quarantined); n > 0 {
+		s.logf("labd: scrub quarantined %d corrupt files under %s", n, st.QuarantineDir())
+	}
+	return reply, nil
+}
+
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	reply, err := s.Scrub()
+	if err != nil {
+		http.Error(w, "labd: scrub: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeJSON(w, r, reply)
 }
 
 // maxSweepBody caps the request body so a pathological payload (few jobs,
@@ -459,15 +527,17 @@ func frontierPoint(p explore.Point) FrontierPoint {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	reply := StatsReply{
-		Cache:          s.cache.Stats(),
-		TraceCache:     sim.TraceCacheStats(),
-		SnapshotCache:  sim.SnapshotCacheInfoNow(),
-		Version:        store.Version(),
-		UptimeSeconds:  time.Since(s.start).Seconds(),
-		DroppedReplies: s.droppedReplies.Load(),
-		CanceledJobs:   s.canceledJobs.Load(),
-		AnalyticCells:  s.analyticCells.Load(),
-		ConfirmedCells: s.confirmedCells.Load(),
+		Cache:            s.cache.Stats(),
+		TraceCache:       sim.TraceCacheStats(),
+		SnapshotCache:    sim.SnapshotCacheInfoNow(),
+		Version:          store.Version(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		DroppedReplies:   s.droppedReplies.Load(),
+		CanceledJobs:     s.canceledJobs.Load(),
+		AnalyticCells:    s.analyticCells.Load(),
+		ConfirmedCells:   s.confirmedCells.Load(),
+		Scrubs:           s.scrubs.Load(),
+		QuarantinedFiles: s.quarantined.Load(),
 	}
 	if st := s.cache.Store(); st != nil {
 		entries, bytes := st.Size()

@@ -171,6 +171,75 @@ func (s *spillDir) load(cacheKey string, startSeq, budget uint64) *Recording {
 	return rec
 }
 
+// VerifySpillFile checks that the file at path is a structurally valid,
+// CRC-clean trace spill of the current format version — the scrub hook
+// for internal/lab/store. Any error means load would treat the file as a
+// miss (bad magic, version skew, truncation, invalid encodings, CRC
+// mismatch), so it is safe — and useful — to quarantine it.
+func VerifySpillFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("trace spill: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+
+	magic := make([]byte, len(spillMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("trace spill: short header: %w", err)
+	}
+	if string(magic) != spillMagic {
+		return fmt.Errorf("trace spill: bad magic")
+	}
+	var ver uint32
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+		return fmt.Errorf("trace spill: short header: %w", err)
+	}
+	if ver != spillVersion {
+		return fmt.Errorf("trace spill: version %d, want %d", ver, spillVersion)
+	}
+	sum := crc32.NewIEEE()
+	tr := io.TeeReader(r, sum)
+	get := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(tr, binary.LittleEndian, &v)
+		return v, err
+	}
+	// startSeq, ceiling, halted flag: value-unchecked here (any values are
+	// legal for some budget), but they feed the CRC.
+	if _, err := get(); err != nil {
+		return fmt.Errorf("trace spill: short header: %w", err)
+	}
+	if _, err := get(); err != nil {
+		return fmt.Errorf("trace spill: short header: %w", err)
+	}
+	var hb [1]byte
+	if _, err := io.ReadFull(tr, hb[:]); err != nil {
+		return fmt.Errorf("trace spill: short header: %w", err)
+	}
+	nchunks, err := get()
+	if err != nil || nchunks > 1<<24 {
+		return fmt.Errorf("trace spill: bad chunk count")
+	}
+	for ci := uint64(0); ci < nchunks; ci++ {
+		if _, err := readChunk(tr, get); err != nil {
+			return fmt.Errorf("trace spill: chunk %d: %w", ci, err)
+		}
+	}
+	var fileCRC uint32
+	if err := binary.Read(r, binary.LittleEndian, &fileCRC); err != nil {
+		return fmt.Errorf("trace spill: missing CRC trailer: %w", err)
+	}
+	if fileCRC != sum.Sum32() {
+		return fmt.Errorf("trace spill: CRC mismatch")
+	}
+	// Anything after the trailer is foreign bytes appended to the file.
+	if _, err := r.ReadByte(); err != io.EOF {
+		return fmt.Errorf("trace spill: trailing garbage")
+	}
+	return nil
+}
+
 func readChunk(r io.Reader, get func() (uint64, error)) (*chunk, error) {
 	c := &chunk{}
 	var err error

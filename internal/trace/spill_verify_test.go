@@ -1,0 +1,109 @@
+package trace
+
+// VerifySpillFile is the scrub hook internal/lab/store uses to audit the
+// trace spill directory: it must accept exactly the files load would
+// serve and reject every corruption a disk can produce — any bit flipped
+// anywhere, any truncation, appended garbage.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flywheel/internal/asm"
+	"flywheel/internal/emu"
+)
+
+// writeRealSpill records the test program through the cache and returns
+// the spill file's path.
+func writeRealSpill(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	c := NewCache(Policy{})
+	c.SetSpillDir(dir)
+	g := c.Acquire("w", 0, 0, nil)
+	if g.Record == nil {
+		t.Fatal("first acquisition must record")
+	}
+	prog, err := asm.Assemble("trace-test.s", testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc := NewRecorder(g.Record, emu.NewStream(emu.New(prog), 0))
+	buf := make([]emu.Trace, 64)
+	for trc.Fill(buf) > 0 {
+	}
+	c.FinishRecorder(trc, nil)
+	matches, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("spill files: %v (err %v)", matches, err)
+	}
+	return matches[0]
+}
+
+func TestVerifySpillFileAcceptsHealthy(t *testing.T) {
+	if err := VerifySpillFile(writeRealSpill(t)); err != nil {
+		t.Fatalf("healthy spill rejected: %v", err)
+	}
+}
+
+// TestVerifySpillFileCatchesEveryBitflip: flipping any single bit of the
+// file must fail verification — magic and version by value, everything
+// else through the CRC trailer.
+func TestVerifySpillFileCatchesEveryBitflip(t *testing.T) {
+	path := writeRealSpill(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every byte would take minutes on a big trace; stride through the
+	// file plus always-check the header and trailer regions.
+	offsets := map[int]bool{}
+	for off := 0; off < len(orig); off += 1 + len(orig)/256 {
+		offsets[off] = true
+	}
+	for off := 0; off < 16 && off < len(orig); off++ {
+		offsets[off] = true // magic + version
+	}
+	for off := len(orig) - 4; off < len(orig); off++ {
+		offsets[off] = true // CRC trailer
+	}
+	for off := range offsets {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0x10
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifySpillFile(path); err == nil {
+			t.Fatalf("bit flip at offset %d passed verification", off)
+		}
+	}
+}
+
+func TestVerifySpillFileCatchesTruncationAndGarbage(t *testing.T) {
+	path := writeRealSpill(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{0, 3, len(orig) / 3, len(orig) - 1} {
+		if err := os.WriteFile(path, orig[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifySpillFile(path); err == nil {
+			t.Fatalf("truncation to %d of %d bytes passed verification", keep, len(orig))
+		}
+	}
+	if err := os.WriteFile(path, append(append([]byte(nil), orig...), 0xFF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySpillFile(path); err == nil {
+		t.Fatal("trailing garbage passed verification")
+	}
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySpillFile(path); err != nil {
+		t.Fatalf("restored file rejected: %v", err)
+	}
+}
