@@ -24,12 +24,14 @@ import (
 
 	"flywheel/internal/analytic"
 	"flywheel/internal/asm"
+	"flywheel/internal/branch"
 	"flywheel/internal/cacti"
 	"flywheel/internal/emu"
 	"flywheel/internal/experiments"
 	"flywheel/internal/explore"
 	"flywheel/internal/lab"
 	"flywheel/internal/lab/store"
+	"flywheel/internal/mem"
 	"flywheel/internal/sim"
 	"flywheel/internal/trace"
 )
@@ -76,6 +78,21 @@ type TieredMetrics struct {
 	TotalMs  float64 `json:"total_ms"`
 }
 
+// FrontendMetrics is one (predictor, prefetcher) combination benchmarked
+// on the flywheel core: the simulator throughput it sustains and the
+// frontend observables it reports, so a predictor that buys accuracy by
+// burning host cycles shows both sides of the trade PR over PR.
+type FrontendMetrics struct {
+	NsPerInst      float64 `json:"ns_per_inst"`
+	MIPS           float64 `json:"mips"`
+	BranchAcc      float64 `json:"branch_acc"`
+	L2HitRate      float64 `json:"l2_hit"`
+	PrefetchIssued uint64  `json:"prefetch_issued"`
+	PrefetchUseful uint64  `json:"prefetch_useful"`
+	PfAccuracy     float64 `json:"pf_acc"`
+	PfCoverage     float64 `json:"pf_cov"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Date            string             `json:"date"`
@@ -86,8 +103,10 @@ type Report struct {
 	InstructionsPer uint64             `json:"instructions_per_run"`
 	Emu             Metrics            `json:"emu"`
 	Cores           map[string]Metrics `json:"cores"`
-	Suite           SuiteMetrics       `json:"suite"`
-	Tiered          TieredMetrics      `json:"tiered"`
+	// Frontend is keyed "predictor/prefetcher" (e.g. "tage/delta").
+	Frontend map[string]FrontendMetrics `json:"frontend"`
+	Suite    SuiteMetrics               `json:"suite"`
+	Tiered   TieredMetrics              `json:"tiered"`
 }
 
 // emuLoop is the steady-state kernel for the raw emulator measurement.
@@ -162,6 +181,47 @@ func benchCore(arch sim.Arch, instructions uint64) (Metrics, error) {
 		AllocsPerInst: float64(r.AllocsPerOp()) / float64(retired),
 		MIPS:          1e3 / nsPerInst,
 	}, nil
+}
+
+// benchFrontend measures the flywheel core under every (predictor,
+// prefetcher) combination on the same workload benchCore uses.
+func benchFrontend(instructions uint64) (map[string]FrontendMetrics, error) {
+	out := map[string]FrontendMetrics{}
+	for _, pred := range []string{branch.DirGShare, branch.DirTAGE} {
+		for _, pf := range []string{mem.PFNone, mem.PFDelta} {
+			cfg := sim.RunConfig{
+				Workload: "ijpeg", Arch: sim.ArchFlywheel, Node: cacti.Node130,
+				FEBoostPct: 50, BEBoostPct: 50, MaxInstructions: instructions,
+				Predictor: pred, Prefetcher: pf,
+			}
+			res, err := sim.Run(cfg) // warm the snapshot cache and capture observables
+			if err != nil {
+				return nil, err
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if res.Retired == 0 {
+				return nil, fmt.Errorf("bench frontend %s/%s: no instructions retired", pred, pf)
+			}
+			nsPerInst := float64(r.NsPerOp()) / float64(res.Retired)
+			out[pred+"/"+pf] = FrontendMetrics{
+				NsPerInst:      nsPerInst,
+				MIPS:           1e3 / nsPerInst,
+				BranchAcc:      res.BranchAccuracy,
+				L2HitRate:      res.DemandL2HitRate,
+				PrefetchIssued: res.PrefetchIssued,
+				PrefetchUseful: res.PrefetchUseful,
+				PfAccuracy:     res.PrefetchAccuracy,
+				PfCoverage:     res.PrefetchCoverage,
+			}
+		}
+	}
+	return out, nil
 }
 
 func benchSuite(instructions uint64, storeDir string) (SuiteMetrics, error) {
@@ -310,6 +370,9 @@ func run(out io.Writer, quick bool, outPath, storeDir string) (Report, error) {
 			return rep, err
 		}
 		rep.Cores[name] = m
+	}
+	if rep.Frontend, err = benchFrontend(instructions); err != nil {
+		return rep, err
 	}
 	if rep.Suite, err = benchSuite(instructions, storeDir); err != nil {
 		return rep, err

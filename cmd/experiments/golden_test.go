@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDefaultFiguresByteIdentical pins every paper figure produced with the
+// default frontend (G-share, no prefetcher) to a golden transcript captured
+// before the frontend became pluggable. The pluggable predictor and
+// prefetcher are strictly additive: leaving both flags off must reproduce
+// the pre-refactor figures byte for byte — same timing, same energy, same
+// formatting. Regenerate the golden (only after an intentional model
+// change, with the version bump that goes with it) via:
+//
+//	go run ./cmd/experiments -fig all -n 40000 -parallel 4 \
+//	    > cmd/experiments/testdata/golden_frontend_default.txt
+func TestDefaultFiguresByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite in -short mode")
+	}
+	goldenPath := filepath.Join("testdata", "golden_frontend_default.txt")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fig", "all", "-n", "40000", "-parallel", "4"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if bytes.Equal(out.Bytes(), want) {
+		return
+	}
+	// Byte-level diff location beats dumping 8 KiB of tables.
+	got := out.Bytes()
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			lo, hi := i-60, i+60
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n {
+				hi = n
+			}
+			t.Fatalf("output diverges from %s at byte %d:\n got: %s\nwant: %s",
+				goldenPath, i, fmt.Sprintf("%q", got[lo:hi]), fmt.Sprintf("%q", want[lo:hi]))
+		}
+	}
+	t.Fatalf("output length %d, golden %d (common prefix identical)", len(got), len(want))
+}

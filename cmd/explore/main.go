@@ -10,6 +10,7 @@
 //	explore -ilp 1,6 -entropy 0,1 -fe 0,50,100         # 4 profiles, 12 points
 //	explore -ilp 4 -fp 0,0.5 -node 0.13,0.09 -csv      # CSV to stdout
 //	explore -frontier -parallel 8                      # frontier only
+//	explore -predictor gshare,tage -prefetcher none,delta  # frontend grid
 //	explore -store ~/.flywheel-store                   # persist results;
 //	                                                   # a re-run simulates nothing
 //
@@ -56,9 +57,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stride  = fs.String("stride", def.Stride, "stride fractions in [0,1], comma-separated")
 		reuse   = fs.String("rr", def.Reuse, "register-reuse fractions in [0,1], comma-separated")
 		code    = fs.String("code", def.Code, "code footprints in KiB, comma-separated")
+		period  = fs.String("period", def.Period, "predictable-branch periods (0 = default 512), comma-separated")
+		chase   = fs.String("chase", def.Chase, "pointer-chase fractions in [0,1], comma-separated")
+		sbytes  = fs.String("stridebytes", def.StrideBytes, "stride step in bytes (0 = default 8), comma-separated")
 		seed    = fs.Uint64("seed", def.Seed, "generator seed shared by all profiles")
 		passes  = fs.Int("passes", 0, "measured passes per kernel (0 = default)")
 		arch    = fs.String("arch", def.Arch, "architectures: baseline, flywheel, regalloc (comma-separated)")
+		pred    = fs.String("predictor", def.Predictor, "branch direction predictors: gshare, tage, always-taken (comma-separated)")
+		pf      = fs.String("prefetcher", def.Prefetcher, "L2 prefetchers: none, delta (comma-separated)")
 		fe      = fs.String("fe", def.FE, "front-end boost percentages, comma-separated")
 		be      = fs.String("be", def.BE, "back-end boost percentages, comma-separated")
 		node    = fs.String("node", def.Node, "technology nodes in um: 0.18, 0.13, 0.09, 0.06 (comma-separated)")
@@ -96,7 +102,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	space, err := explore.Axes{
 		ILP: *ilp, Entropy: *entropy, FPMix: *fpmix, Mem: *mem,
 		Stride: *stride, Reuse: *reuse, Code: *code, Seed: *seed,
+		Period: *period, Chase: *chase, StrideBytes: *sbytes,
 		Passes: *passes, Arch: *arch, FE: *fe, BE: *be, Node: *node,
+		Predictor: *pred, Prefetcher: *pf,
 		Instructions: *n, MaxPoints: guard,
 	}.Space()
 	if err != nil {

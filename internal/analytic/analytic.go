@@ -22,8 +22,10 @@ import (
 	"math"
 	"strconv"
 
+	"flywheel/internal/branch"
 	"flywheel/internal/cacti"
 	"flywheel/internal/lab"
+	"flywheel/internal/mem"
 	"flywheel/internal/sim"
 	"flywheel/internal/workload"
 	"flywheel/internal/workload/synth"
@@ -49,14 +51,27 @@ var FeatureNames = []string{
 	"log_be_boost",
 	"entropy_x_fe",
 	"inv_ilp_x_fe",
+	"chase_frac",
+	"log2_period_rel",
+	"log2_stride_rel",
 }
 
-// features maps one grid cell to the model's input vector.
+// features maps one grid cell to the model's input vector. The three
+// frontend-stress knobs enter relative to their legacy defaults (period
+// 512, stride 8 B), so every pre-existing profile's vector keeps zeros
+// there and old fits are reproduced exactly.
 func features(p synth.Profile, feBoostPct, beBoostPct int) []float64 {
 	d := p.Defaulted()
 	invILP := 1 / float64(d.ILP)
 	logFE := math.Log1p(float64(feBoostPct) / 100)
 	logBE := math.Log1p(float64(beBoostPct) / 100)
+	period, stride := 512.0, 8.0
+	if d.BranchPeriod > 0 {
+		period = float64(d.BranchPeriod)
+	}
+	if d.StrideBytes > 0 {
+		stride = float64(d.StrideBytes)
+	}
 	return []float64{
 		1,
 		invILP,
@@ -70,6 +85,9 @@ func features(p synth.Profile, feBoostPct, beBoostPct int) []float64 {
 		logBE,
 		d.BranchEntropy * logFE,
 		invILP * logFE,
+		d.ChaseFrac,
+		math.Log2(period / 512),
+		math.Log2(stride / 8),
 	}
 }
 
@@ -98,14 +116,36 @@ type anchor struct {
 	energy []float64
 }
 
-// groupKey identifies one (arch, node) coefficient set.
-func groupKey(a sim.Arch, n cacti.Node) string {
-	return fmt.Sprintf("%d@%s", a, strconv.FormatFloat(float64(n), 'g', -1, 64))
+// Frontend names one predictor/prefetcher pairing. The zero value means
+// the defaults; normalize canonicalizes it so map keys are stable.
+type Frontend struct {
+	Predictor  string
+	Prefetcher string
+}
+
+func (f Frontend) normalize() Frontend {
+	if f.Predictor == "" {
+		f.Predictor = branch.DirGShare
+	}
+	if f.Prefetcher == "" {
+		f.Prefetcher = mem.PFNone
+	}
+	return f
+}
+
+// groupKey identifies one (arch, node, frontend) coefficient set: frontend
+// components change the machine's time/energy response to the profile
+// knobs (TAGE flattens the entropy slope, a prefetcher flattens the
+// footprint slope), so each pairing gets its own fit.
+func groupKey(a sim.Arch, n cacti.Node, fe Frontend) string {
+	fe = fe.normalize()
+	return fmt.Sprintf("%d@%s/%s/%s", a, strconv.FormatFloat(float64(n), 'g', -1, 64),
+		fe.Predictor, fe.Prefetcher)
 }
 
 // anchorKey identifies one profile's residual anchor within a group.
-func anchorKey(profile string, a sim.Arch, n cacti.Node) string {
-	return profile + "|" + groupKey(a, n)
+func anchorKey(profile string, a sim.Arch, n cacti.Node, fe Frontend) string {
+	return profile + "|" + groupKey(a, n, fe)
 }
 
 // Summary aggregates prediction error as absolute relative error on the
@@ -159,18 +199,18 @@ type Model struct {
 }
 
 // Anchored reports whether the profile was part of calibration for the
-// given architecture and node, so predictions carry its residual anchor.
-// Unanchored profiles predict from the global fit alone, with
+// given architecture, node and frontend, so predictions carry its residual
+// anchor. Unanchored profiles predict from the global fit alone, with
 // correspondingly larger error.
-func (m *Model) Anchored(p synth.Profile, a sim.Arch, n cacti.Node) bool {
-	_, ok := m.anchors[anchorKey(p.Name(), a, n)]
+func (m *Model) Anchored(p synth.Profile, a sim.Arch, n cacti.Node, front Frontend) bool {
+	_, ok := m.anchors[anchorKey(p.Name(), a, n, front)]
 	return ok
 }
 
 // Covers reports whether the model was calibrated for the given
-// architecture and node.
-func (m *Model) Covers(a sim.Arch, n cacti.Node) bool {
-	_, ok := m.sets[groupKey(a, n)]
+// architecture, node and frontend.
+func (m *Model) Covers(a sim.Arch, n cacti.Node, front Frontend) bool {
+	_, ok := m.sets[groupKey(a, n, front)]
 	return ok
 }
 
@@ -180,21 +220,23 @@ func (m *Model) Covers(a sim.Arch, n cacti.Node) bool {
 // predicted per-instruction costs scaled by instructions; Cycles and IPC
 // are derived from the node's baseline clock for table cosmetics. The cost
 // is two dot products.
-func (m *Model) Predict(p synth.Profile, arch sim.Arch, node cacti.Node, feBoostPct, beBoostPct int, instructions uint64) (sim.Result, error) {
+func (m *Model) Predict(p synth.Profile, arch sim.Arch, node cacti.Node, feBoostPct, beBoostPct int, front Frontend, instructions uint64) (sim.Result, error) {
 	if node == 0 {
 		node = cacti.Node130
 	}
 	if arch == sim.ArchBaseline {
 		feBoostPct, beBoostPct = 0, 0
 	}
-	c, ok := m.sets[groupKey(arch, node)]
+	front = front.normalize()
+	c, ok := m.sets[groupKey(arch, node, front)]
 	if !ok {
-		return sim.Result{}, fmt.Errorf("analytic: model not calibrated for %s at %s", arch, node)
+		return sim.Result{}, fmt.Errorf("analytic: model not calibrated for %s at %s with %s/%s",
+			arch, node, front.Predictor, front.Prefetcher)
 	}
 	x := features(p, feBoostPct, beBoostPct)
 	logTime := dot(c.time, x)
 	logEnergy := dot(c.energy, x)
-	if a, ok := m.anchors[anchorKey(p.Name(), arch, node)]; ok {
+	if a, ok := m.anchors[anchorKey(p.Name(), arch, node, front)]; ok {
 		bf := boostFeatures(feBoostPct, beBoostPct)
 		logTime += dot(a.time, bf)
 		logEnergy += dot(a.energy, bf)
@@ -207,6 +249,7 @@ func (m *Model) Predict(p synth.Profile, arch sim.Arch, node cacti.Node, feBoost
 			Workload: p.Name(), Arch: arch, Node: node,
 			FEBoostPct: feBoostPct, BEBoostPct: beBoostPct,
 			MaxInstructions: instructions,
+			Predictor:       front.Predictor, Prefetcher: front.Prefetcher,
 		},
 		TimePS:   int64(math.Round(psPerInst * n)),
 		Retired:  instructions,
@@ -235,11 +278,16 @@ func dot(w, x []float64) float64 {
 // boosts to {0, 50, 100} × {0, 50, 100}, nodes to {0.13 µm}, instructions
 // to 20k.
 type Config struct {
-	Profiles     []synth.Profile
-	Archs        []sim.Arch
-	FEBoosts     []int
-	BEBoosts     []int
-	Nodes        []cacti.Node
+	Profiles []synth.Profile
+	Archs    []sim.Arch
+	FEBoosts []int
+	BEBoosts []int
+	Nodes    []cacti.Node
+	// Predictors / Prefetchers are the frontend axes; nil means the
+	// defaults ({"gshare"} / {"none"}). Every (predictor, prefetcher)
+	// pairing trains its own coefficient set.
+	Predictors   []string
+	Prefetchers  []string
 	Instructions uint64
 	// Workers sizes the lab worker pool; Cache memoizes the calibration
 	// runs (nil uses a private cache). Progress mirrors lab.Options.
@@ -264,6 +312,12 @@ func (c Config) normalize() Config {
 	if c.Nodes == nil {
 		c.Nodes = []cacti.Node{cacti.Node130}
 	}
+	if c.Predictors == nil {
+		c.Predictors = []string{branch.DirGShare}
+	}
+	if c.Prefetchers == nil {
+		c.Prefetchers = []string{mem.PFNone}
+	}
 	if c.Instructions == 0 {
 		c.Instructions = 20_000
 	}
@@ -283,7 +337,7 @@ func (c Config) Cells() int {
 			perProfile += len(c.FEBoosts) * len(c.BEBoosts)
 		}
 	}
-	return len(c.Profiles) * len(c.Nodes) * perProfile
+	return len(c.Profiles) * len(c.Nodes) * len(c.Predictors) * len(c.Prefetchers) * perProfile
 }
 
 // DefaultTrainingProfiles returns a deterministic spread of profiles that
@@ -374,19 +428,25 @@ func Calibrate(cfg Config) (*Model, error) {
 				if arch == sim.ArchBaseline {
 					fes, bes = []int{0}, []int{0}
 				}
-				for _, fe := range fes {
-					for _, be := range bes {
-						jobs = append(jobs, lab.Job{
-							Workload: name, Arch: arch, Node: node,
-							FEBoostPct: fe, BEBoostPct: be,
-							MaxInstructions: cfg.Instructions,
-						})
-						cells = append(cells, cell{
-							key:    groupKey(arch, node),
-							anchor: anchorKey(name, arch, node),
-							x:      features(p, fe, be),
-							bf:     boostFeatures(fe, be),
-						})
+				for _, pred := range cfg.Predictors {
+					for _, pf := range cfg.Prefetchers {
+						front := Frontend{Predictor: pred, Prefetcher: pf}
+						for _, fe := range fes {
+							for _, be := range bes {
+								jobs = append(jobs, lab.Job{
+									Workload: name, Arch: arch, Node: node,
+									FEBoostPct: fe, BEBoostPct: be,
+									MaxInstructions: cfg.Instructions,
+									Predictor:       pred, Prefetcher: pf,
+								})
+								cells = append(cells, cell{
+									key:    groupKey(arch, node, front),
+									anchor: anchorKey(name, arch, node, front),
+									x:      features(p, fe, be),
+									bf:     boostFeatures(fe, be),
+								})
+							}
+						}
 					}
 				}
 			}

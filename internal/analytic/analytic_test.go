@@ -42,7 +42,7 @@ func TestCalibrateFitsTrainingSet(t *testing.T) {
 	if m.TrainingErr.EnergyMAPE > 0.08 {
 		t.Errorf("training energy MAPE %.1f%% too high for screening", 100*m.TrainingErr.EnergyMAPE)
 	}
-	if !m.Covers(sim.ArchFlywheel, cacti.Node130) || m.Covers(sim.ArchRegAlloc, cacti.Node130) {
+	if !m.Covers(sim.ArchFlywheel, cacti.Node130, Frontend{}) || m.Covers(sim.ArchRegAlloc, cacti.Node130, Frontend{}) {
 		t.Error("Covers does not reflect the calibrated groups")
 	}
 }
@@ -53,7 +53,7 @@ func TestPredictShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := synth.Profile{MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1, Seed: 7}
-	r, err := m.Predict(p, sim.ArchFlywheel, cacti.Node130, 50, 50, 10_000)
+	r, err := m.Predict(p, sim.ArchFlywheel, cacti.Node130, 50, 50, Frontend{}, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestPredictShape(t *testing.T) {
 		t.Errorf("prediction config not stamped: %+v", r.Config)
 	}
 	// Deterministic: same query, same answer.
-	r2, err := m.Predict(p, sim.ArchFlywheel, cacti.Node130, 50, 50, 10_000)
+	r2, err := m.Predict(p, sim.ArchFlywheel, cacti.Node130, 50, 50, Frontend{}, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestPredictShape(t *testing.T) {
 	}
 	// Per-instruction cost is instruction-count invariant: doubling the
 	// budget doubles time and energy (within rounding).
-	r3, err := m.Predict(p, sim.ArchFlywheel, cacti.Node130, 50, 50, 20_000)
+	r3, err := m.Predict(p, sim.ArchFlywheel, cacti.Node130, 50, 50, Frontend{}, 20_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +83,11 @@ func TestPredictShape(t *testing.T) {
 
 	// The baseline architecture collapses boosts, exactly like the grid
 	// enumeration does.
-	b1, err := m.Predict(p, sim.ArchBaseline, cacti.Node130, 0, 0, 10_000)
+	b1, err := m.Predict(p, sim.ArchBaseline, cacti.Node130, 0, 0, Frontend{}, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, err := m.Predict(p, sim.ArchBaseline, cacti.Node130, 100, 100, 10_000)
+	b2, err := m.Predict(p, sim.ArchBaseline, cacti.Node130, 100, 100, Frontend{}, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,10 +96,10 @@ func TestPredictShape(t *testing.T) {
 	}
 
 	// An uncalibrated (arch, node) is an explicit error, not a guess.
-	if _, err := m.Predict(p, sim.ArchRegAlloc, cacti.Node130, 0, 0, 1_000); err == nil {
+	if _, err := m.Predict(p, sim.ArchRegAlloc, cacti.Node130, 0, 0, Frontend{}, 1_000); err == nil {
 		t.Error("uncalibrated arch predicted without error")
 	}
-	if _, err := m.Predict(p, sim.ArchFlywheel, cacti.Node90, 0, 0, 1_000); err == nil {
+	if _, err := m.Predict(p, sim.ArchFlywheel, cacti.Node90, 0, 0, Frontend{}, 1_000); err == nil {
 		t.Error("uncalibrated node predicted without error")
 	}
 }

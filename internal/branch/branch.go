@@ -1,8 +1,11 @@
 // Package branch implements the branch prediction machinery of the modelled
-// machines: a G-share conditional direction predictor (12-bit global
-// history, 2048-entry pattern history table of 2-bit counters, per the
-// paper's Table 2), a branch target buffer for indirect jumps, and a
-// return-address stack.
+// machines. The conditional-direction predictor is pluggable behind the
+// DirectionPredictor interface — G-share (12-bit global history, 2048-entry
+// pattern history table of 2-bit counters, per the paper's Table 2) is the
+// default, a TAGE predictor models a modern frontend, and an always-taken
+// degenerate exists for differential testing. The branch target buffer for
+// indirect jumps and the return-address stack are shared by all direction
+// predictors.
 //
 // The timing cores fetch down the architecturally correct path and use the
 // predictor only to decide *whether the real machine would have mispredicted*
@@ -20,12 +23,18 @@ type Config struct {
 	TableSize   int // pattern history table entries (power of two)
 	BTBSize     int // branch target buffer entries (power of two)
 	RASDepth    int // return address stack depth
+	// Direction selects the conditional-direction predictor: "" or
+	// DirGShare for the paper's G-share, DirTAGE for the tagged
+	// geometric-history predictor, DirAlwaysTaken for the degenerate.
+	// G-share reads HistoryBits/TableSize; TAGE geometry is fixed (see
+	// tage.go) so differently sized G-share sweeps stay comparable.
+	Direction string
 }
 
 // DefaultConfig matches the paper's Table 2 (G-share, 12-bit history,
 // 2048 entries) with a conventional BTB and RAS.
 func DefaultConfig() Config {
-	return Config{HistoryBits: 12, TableSize: 2048, BTBSize: 512, RASDepth: 16}
+	return Config{HistoryBits: 12, TableSize: 2048, BTBSize: 512, RASDepth: 16, Direction: DirGShare}
 }
 
 // Stats counts prediction outcomes.
@@ -58,19 +67,20 @@ type btbEntry struct {
 	valid  bool
 }
 
-// Predictor is the combined direction/target predictor.
+// Predictor is the combined direction/target predictor: a pluggable
+// conditional-direction predictor plus the shared BTB and RAS.
 type Predictor struct {
-	cfg     Config
-	pht     []uint8 // 2-bit saturating counters
-	history uint64
-	histMax uint64
-	btb     []btbEntry
-	ras     []uint64
-	rasTop  int // number of valid entries
-	Stats   Stats
+	cfg    Config
+	dir    DirectionPredictor
+	btb    []btbEntry
+	ras    []uint64
+	rasTop int // number of valid entries
+	Stats  Stats
 }
 
-// New builds a predictor. Table sizes are rounded up to powers of two.
+// New builds a predictor. Table sizes are rounded up to powers of two and
+// the Direction name is canonicalized ("" means G-share). Unknown direction
+// names panic: validate with KnownDirection first (sim does).
 func New(cfg Config) *Predictor {
 	if cfg.TableSize <= 0 {
 		cfg.TableSize = 2048
@@ -86,24 +96,24 @@ func New(cfg Config) *Predictor {
 	if cfg.HistoryBits <= 0 {
 		cfg.HistoryBits = 12
 	}
-	p := &Predictor{
-		cfg:     cfg,
-		pht:     make([]uint8, cfg.TableSize),
-		btb:     make([]btbEntry, cfg.BTBSize),
-		ras:     make([]uint64, cfg.RASDepth),
-		histMax: 1<<uint(cfg.HistoryBits) - 1,
+	if cfg.Direction == "" {
+		cfg.Direction = DirGShare
 	}
-	// Weakly taken initial state: loops start off predicted reasonably.
-	for i := range p.pht {
-		p.pht[i] = 2
+	return &Predictor{
+		cfg: cfg,
+		dir: newDirection(cfg),
+		btb: make([]btbEntry, cfg.BTBSize),
+		ras: make([]uint64, cfg.RASDepth),
 	}
-	return p
 }
 
 // Config returns the predictor configuration.
 func (p *Predictor) Config() Config { return p.cfg }
 
-// CopyStateFrom copies the table state (PHT, BTB, RAS, history) and
+// Direction returns the conditional-direction predictor's canonical name.
+func (p *Predictor) Direction() string { return p.dir.Kind() }
+
+// CopyStateFrom copies the table state (direction predictor, BTB, RAS) and
 // statistics of an identically configured predictor into this one. It lets
 // warmed predictor state be cloned into a fresh core instead of replaying
 // the warm branch stream. It panics on configuration mismatch (caller bug).
@@ -111,10 +121,9 @@ func (p *Predictor) CopyStateFrom(src *Predictor) {
 	if p.cfg != src.cfg {
 		panic("branch: CopyStateFrom with mismatched config")
 	}
-	copy(p.pht, src.pht)
+	p.dir.CopyStateFrom(src.dir)
 	copy(p.btb, src.btb)
 	copy(p.ras, src.ras)
-	p.history = src.history
 	p.rasTop = src.rasTop
 	p.Stats = src.Stats
 }
@@ -125,10 +134,6 @@ func ceilPow2(n int) int {
 		v <<= 1
 	}
 	return v
-}
-
-func (p *Predictor) phtIndex(pc uint64) int {
-	return int(((pc >> 2) ^ p.history) & uint64(len(p.pht)-1))
 }
 
 func (p *Predictor) btbIndex(pc uint64) int {
@@ -163,9 +168,8 @@ func (p *Predictor) Predict(pc uint64, in isa.Instruction) Prediction {
 	switch in.Class() {
 	case isa.ClassBranch:
 		p.Stats.CondBranches++
-		taken := p.pht[p.phtIndex(pc)] >= 2
 		return Prediction{
-			Taken:       taken,
+			Taken:       p.dir.Predict(pc),
 			Target:      uint64(int64(pc) + int64(in.Imm)*isa.InstBytes),
 			TargetKnown: true,
 		}
@@ -204,15 +208,7 @@ func (p *Predictor) Update(pc uint64, in isa.Instruction, taken bool, target uin
 	p.Stats.Updates++
 	switch in.Class() {
 	case isa.ClassBranch:
-		idx := p.phtIndex(pc)
-		if taken {
-			if p.pht[idx] < 3 {
-				p.pht[idx]++
-			}
-		} else if p.pht[idx] > 0 {
-			p.pht[idx]--
-		}
-		p.history = ((p.history << 1) | b2u(taken)) & p.histMax
+		p.dir.Update(pc, taken)
 	case isa.ClassJump:
 		if in.Op == isa.JALR && !isReturn(in) {
 			p.btb[p.btbIndex(pc)] = btbEntry{tag: pc, target: target, valid: true}

@@ -1,0 +1,125 @@
+package branch
+
+import "fmt"
+
+// Canonical direction-predictor names. The empty string canonicalizes to
+// DirGShare everywhere (Config, lab.Job, explore axes).
+const (
+	DirGShare      = "gshare"
+	DirTAGE        = "tage"
+	DirAlwaysTaken = "always-taken"
+)
+
+// Directions lists the known direction predictors in canonical order.
+func Directions() []string { return []string{DirGShare, DirTAGE, DirAlwaysTaken} }
+
+// KnownDirection reports whether name selects a direction predictor.
+// The empty string is the canonical G-share default.
+func KnownDirection(name string) bool {
+	switch name {
+	case "", DirGShare, DirTAGE, DirAlwaysTaken:
+		return true
+	}
+	return false
+}
+
+// DirectionPredictor predicts the direction of conditional branches. The
+// shared Predictor wrapper owns the BTB, RAS and statistics; an
+// implementation owns only its direction tables.
+//
+// Predict must be side-effect free with respect to training state: the
+// front-end may predict a branch many times (fetch replays) before its
+// single retirement Update. Update trains with the architected outcome and
+// advances any internal history. Reset restores the initial (power-on)
+// state. CopyStateFrom clones the full training state of an identically
+// shaped predictor — warm snapshots depend on a clone continuing exactly
+// like the original — and panics on a kind or geometry mismatch.
+type DirectionPredictor interface {
+	Kind() string
+	Predict(pc uint64) bool
+	Update(pc uint64, taken bool)
+	Reset()
+	CopyStateFrom(src DirectionPredictor)
+}
+
+// newDirection builds the direction predictor selected by cfg.Direction
+// (already canonicalized by New).
+func newDirection(cfg Config) DirectionPredictor {
+	switch cfg.Direction {
+	case DirGShare:
+		return newGShare(cfg)
+	case DirTAGE:
+		return newTAGE()
+	case DirAlwaysTaken:
+		return alwaysTaken{}
+	}
+	panic(fmt.Sprintf("branch: unknown direction predictor %q", cfg.Direction))
+}
+
+// gshare is the paper's Table 2 conditional predictor: a pattern history
+// table of 2-bit saturating counters indexed by PC xor global history.
+type gshare struct {
+	pht     []uint8 // 2-bit saturating counters
+	history uint64
+	histMax uint64
+}
+
+func newGShare(cfg Config) *gshare {
+	g := &gshare{
+		pht:     make([]uint8, cfg.TableSize),
+		histMax: 1<<uint(cfg.HistoryBits) - 1,
+	}
+	g.Reset()
+	return g
+}
+
+func (g *gshare) Kind() string { return DirGShare }
+
+func (g *gshare) Reset() {
+	// Weakly taken initial state: loops start off predicted reasonably.
+	for i := range g.pht {
+		g.pht[i] = 2
+	}
+	g.history = 0
+}
+
+func (g *gshare) index(pc uint64) int {
+	return int(((pc >> 2) ^ g.history) & uint64(len(g.pht)-1))
+}
+
+func (g *gshare) Predict(pc uint64) bool { return g.pht[g.index(pc)] >= 2 }
+
+func (g *gshare) Update(pc uint64, taken bool) {
+	idx := g.index(pc)
+	if taken {
+		if g.pht[idx] < 3 {
+			g.pht[idx]++
+		}
+	} else if g.pht[idx] > 0 {
+		g.pht[idx]--
+	}
+	g.history = ((g.history << 1) | b2u(taken)) & g.histMax
+}
+
+func (g *gshare) CopyStateFrom(src DirectionPredictor) {
+	s, ok := src.(*gshare)
+	if !ok || len(s.pht) != len(g.pht) || s.histMax != g.histMax {
+		panic("branch: gshare CopyStateFrom with mismatched source")
+	}
+	copy(g.pht, s.pht)
+	g.history = s.history
+}
+
+// alwaysTaken is the degenerate predictor for differential tests: every
+// conditional branch is predicted taken, nothing is learned.
+type alwaysTaken struct{}
+
+func (alwaysTaken) Kind() string           { return DirAlwaysTaken }
+func (alwaysTaken) Predict(pc uint64) bool { return true }
+func (alwaysTaken) Update(uint64, bool)    {}
+func (alwaysTaken) Reset()                 {}
+func (alwaysTaken) CopyStateFrom(src DirectionPredictor) {
+	if _, ok := src.(alwaysTaken); !ok {
+		panic("branch: always-taken CopyStateFrom with mismatched source")
+	}
+}

@@ -1,0 +1,293 @@
+package branch
+
+// TAGE: a TAgged GEometric-history-length conditional direction predictor
+// (Seznec & Michaud). A bimodal base table provides the default prediction;
+// four tagged tables indexed by PC hashed with geometrically increasing
+// slices of global history (5, 12, 27, 60 bits) override it. The matching
+// table with the longest history is the provider; the next longest match
+// (or the base table) is the alternate. Each tagged entry carries a 3-bit
+// signed counter, a partial tag and a 2-bit usefulness counter; entries are
+// allocated on mispredicts into a longer-history table whose slot is free
+// (u == 0), and usefulness decays periodically so stale entries can be
+// reclaimed.
+//
+// Geometry is fixed rather than drawn from Config so that the predictor
+// axis stays a clean categorical knob in the explore grids.
+
+const (
+	tageNumTables = 4  // tagged tables above the bimodal base
+	tageIdxBits   = 10 // 1024 entries per tagged table
+	tageTagBits   = 9  // partial tag width
+	tageBaseBits  = 12 // 4096-entry bimodal base
+	tageCtrMin    = -4 // 3-bit signed prediction counter range
+	tageCtrMax    = 3
+	tageUMax      = 3 // 2-bit usefulness counter ceiling
+	// tageDecayPeriod is the usefulness-decay epoch, counted in
+	// conditional-branch updates: each epoch alternately clears the high
+	// then the low usefulness bit of every tagged entry, so entries that
+	// stop earning their keep free up within two epochs.
+	tageDecayPeriod = 1 << 17
+)
+
+// tageHistLens are the geometric global-history lengths of the tagged
+// tables, shortest first. The longest must fit the 64-bit history register.
+var tageHistLens = [tageNumTables]int{5, 12, 27, 60}
+
+type tageEntry struct {
+	tag uint16
+	ctr int8 // prediction counter, taken when >= 0
+	u   uint8
+}
+
+type tage struct {
+	base   []uint8 // 2-bit bimodal counters
+	tables [tageNumTables][]tageEntry
+	ghist  uint64 // global conditional-outcome shift register
+	// useAlt is the use-alternate-on-newly-allocated counter: when >= 8
+	// the alternate prediction overrides a freshly allocated (weak,
+	// useless) provider.
+	useAlt uint8
+	tick   uint64 // conditional updates since the last decay epoch start
+	epoch  uint64 // decay epochs elapsed (parity picks the cleared u bit)
+	lfsr   uint32 // deterministic allocation-tiebreak generator
+	// decayPeriod is tageDecayPeriod in production; unit tests shrink it
+	// to exercise the epoch logic quickly.
+	decayPeriod uint64
+}
+
+func newTAGE() *tage {
+	t := &tage{
+		base:        make([]uint8, 1<<tageBaseBits),
+		decayPeriod: tageDecayPeriod,
+	}
+	for i := range t.tables {
+		t.tables[i] = make([]tageEntry, 1<<tageIdxBits)
+	}
+	t.Reset()
+	return t
+}
+
+func (t *tage) Kind() string { return DirTAGE }
+
+func (t *tage) Reset() {
+	// Weakly taken base, empty tagged tables, neutral use-alt.
+	for i := range t.base {
+		t.base[i] = 2
+	}
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			t.tables[i][j] = tageEntry{}
+		}
+	}
+	t.ghist = 0
+	t.useAlt = 8
+	t.tick = 0
+	t.epoch = 0
+	t.lfsr = 0x2bdf5c1
+}
+
+func (t *tage) CopyStateFrom(src DirectionPredictor) {
+	s, ok := src.(*tage)
+	if !ok {
+		panic("branch: tage CopyStateFrom with mismatched source")
+	}
+	copy(t.base, s.base)
+	for i := range t.tables {
+		copy(t.tables[i], s.tables[i])
+	}
+	t.ghist = s.ghist
+	t.useAlt = s.useAlt
+	t.tick = s.tick
+	t.epoch = s.epoch
+	t.lfsr = s.lfsr
+	t.decayPeriod = s.decayPeriod
+}
+
+// fold xor-compresses the low length bits of h into width bits.
+func fold(h uint64, length, width int) uint64 {
+	h &= 1<<uint(length) - 1
+	var f uint64
+	for ; h != 0; h >>= uint(width) {
+		f ^= h & (1<<uint(width) - 1)
+	}
+	return f
+}
+
+func (t *tage) baseIndex(pc uint64) int {
+	return int((pc >> 2) & (1<<tageBaseBits - 1))
+}
+
+func (t *tage) index(pc uint64, table int) int {
+	h := fold(t.ghist, tageHistLens[table], tageIdxBits)
+	return int((h ^ (pc >> 2) ^ (pc >> uint(2+table+tageIdxBits))) & (1<<tageIdxBits - 1))
+}
+
+func (t *tage) tagFor(pc uint64, table int) uint16 {
+	h := fold(t.ghist, tageHistLens[table], tageTagBits) ^
+		fold(t.ghist, tageHistLens[table], tageTagBits-1)<<1
+	return uint16((h ^ (pc >> 2)) & (1<<tageTagBits - 1))
+}
+
+// tageLookup is one prediction's bookkeeping: which tables matched and what
+// each component predicted. Update recomputes it so Predict stays
+// side-effect free.
+type tageLookup struct {
+	provider     int // matching table with the longest history, -1 = base
+	providerIdx  int
+	alt          int // next-longest match, -1 = base
+	altIdx       int
+	providerPred bool
+	altPred      bool
+	pred         bool // the final prediction actually emitted
+	weakProvider bool // provider entry looks newly allocated
+}
+
+func (t *tage) lookup(pc uint64) tageLookup {
+	l := tageLookup{provider: -1, alt: -1}
+	for i := tageNumTables - 1; i >= 0; i-- {
+		idx := t.index(pc, i)
+		if t.tables[i][idx].tag != t.tagFor(pc, i) {
+			continue
+		}
+		if l.provider < 0 {
+			l.provider, l.providerIdx = i, idx
+		} else {
+			l.alt, l.altIdx = i, idx
+			break
+		}
+	}
+	basePred := t.base[t.baseIndex(pc)] >= 2
+	l.providerPred, l.altPred = basePred, basePred
+	if l.provider >= 0 {
+		e := t.tables[l.provider][l.providerIdx]
+		l.providerPred = e.ctr >= 0
+		l.weakProvider = e.u == 0 && (e.ctr == 0 || e.ctr == -1)
+		if l.alt >= 0 {
+			l.altPred = t.tables[l.alt][l.altIdx].ctr >= 0
+		}
+	}
+	l.pred = l.providerPred
+	if l.provider >= 0 && l.weakProvider && t.useAlt >= 8 {
+		l.pred = l.altPred
+	}
+	return l
+}
+
+func (t *tage) Predict(pc uint64) bool { return t.lookup(pc).pred }
+
+func (t *tage) Update(pc uint64, taken bool) {
+	l := t.lookup(pc)
+
+	// Track whether the alternate beats newly allocated providers; this
+	// steers lookup's use-alt override.
+	if l.provider >= 0 && l.weakProvider && l.providerPred != l.altPred {
+		if l.altPred == taken {
+			if t.useAlt < 15 {
+				t.useAlt++
+			}
+		} else if t.useAlt > 0 {
+			t.useAlt--
+		}
+	}
+
+	if l.provider >= 0 {
+		e := &t.tables[l.provider][l.providerIdx]
+		if taken {
+			if e.ctr < tageCtrMax {
+				e.ctr++
+			}
+		} else if e.ctr > tageCtrMin {
+			e.ctr--
+		}
+		// Usefulness records the provider beating the alternate.
+		if l.providerPred != l.altPred {
+			if l.providerPred == taken {
+				if e.u < tageUMax {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+	} else {
+		i := t.baseIndex(pc)
+		if taken {
+			if t.base[i] < 3 {
+				t.base[i]++
+			}
+		} else if t.base[i] > 0 {
+			t.base[i]--
+		}
+	}
+
+	if l.pred != taken && l.provider < tageNumTables-1 {
+		t.allocate(pc, taken, l.provider)
+	}
+
+	t.tick++
+	if t.tick >= t.decayPeriod {
+		t.tick = 0
+		t.decayUsefulness()
+	}
+	t.ghist = t.ghist<<1 | b2u(taken)
+}
+
+// allocate installs a fresh entry for pc in a table with a longer history
+// than the provider. Among the candidate slots whose usefulness is zero it
+// prefers the shortest history (fastest to warm) but takes a longer one on
+// a pseudo-random coin so repeated conflicts spread out; when every
+// candidate is busy their usefulness is decremented instead, so repeated
+// mispredicts eventually free a slot.
+func (t *tage) allocate(pc uint64, taken bool, provider int) {
+	var free [tageNumTables]int
+	nfree := 0
+	for j := provider + 1; j < tageNumTables; j++ {
+		if t.tables[j][t.index(pc, j)].u == 0 {
+			free[nfree] = j
+			nfree++
+		}
+	}
+	if nfree == 0 {
+		for j := provider + 1; j < tageNumTables; j++ {
+			e := &t.tables[j][t.index(pc, j)]
+			if e.u > 0 {
+				e.u--
+			}
+		}
+		return
+	}
+	pick := free[0]
+	if nfree > 1 && t.rand(2) == 1 {
+		pick = free[1]
+	}
+	ctr := int8(0)
+	if !taken {
+		ctr = -1
+	}
+	t.tables[pick][t.index(pc, pick)] = tageEntry{tag: t.tagFor(pc, pick), ctr: ctr}
+}
+
+// decayUsefulness ages every tagged entry: epochs alternately clear the
+// high then the low usefulness bit, so a full decay takes two epochs.
+func (t *tage) decayUsefulness() {
+	clear := uint8(2)
+	if t.epoch&1 == 1 {
+		clear = 1
+	}
+	t.epoch++
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			t.tables[i][j].u &^= clear
+		}
+	}
+}
+
+// rand draws a deterministic pseudo-random value in [0, n) from the
+// allocation LFSR (xorshift32); determinism keeps runs and their warm
+// clones bit-reproducible.
+func (t *tage) rand(n int) int {
+	t.lfsr ^= t.lfsr << 13
+	t.lfsr ^= t.lfsr >> 17
+	t.lfsr ^= t.lfsr << 5
+	return int(t.lfsr % uint32(n))
+}

@@ -1,0 +1,213 @@
+package branch
+
+import "testing"
+
+// trainStream is a deterministic pseudo-random outcome stream shared by the
+// TAGE tests: an xorshift64 over the seed decides taken/not-taken and which
+// of a small set of PCs branches.
+func trainStream(seed uint64, n int) []struct {
+	pc    uint64
+	taken bool
+} {
+	out := make([]struct {
+		pc    uint64
+		taken bool
+	}, n)
+	x := seed | 1
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i].pc = 0x4000 + (x%37)*4
+		out[i].taken = x&8 != 0
+	}
+	return out
+}
+
+// TestTAGEDecayEpoch pins the two-phase usefulness decay: the first epoch
+// clears the high u bit, the second the low bit, so a fully useful entry
+// (u=3) frees up (u=0) after exactly two epochs and no sooner.
+func TestTAGEDecayEpoch(t *testing.T) {
+	p := newTAGE()
+	p.decayPeriod = 8 // shrink the epoch so eight updates trigger a decay
+	p.tables[2][5] = tageEntry{tag: 0x11, ctr: 3, u: 3}
+
+	// Eight always-taken updates cross one epoch without a single
+	// mispredict (everything initializes weakly taken), so no allocation
+	// can overwrite the probed entry.
+	runEpoch := func() {
+		for i := 0; i < 8; i++ {
+			p.Update(0x9004, true)
+		}
+	}
+	runEpoch()
+	if got := p.tables[2][5].u; got != 1 {
+		t.Fatalf("after epoch 1: u = %d, want 1 (high bit cleared)", got)
+	}
+	runEpoch()
+	if got := p.tables[2][5].u; got != 0 {
+		t.Fatalf("after epoch 2: u = %d, want 0 (low bit cleared)", got)
+	}
+	if p.epoch != 2 {
+		t.Fatalf("epoch counter = %d, want 2", p.epoch)
+	}
+}
+
+// TestTAGEAllocatesOnMispredict pins allocation: a mispredicted branch with
+// no tagged match installs exactly one fresh entry in a longer-history
+// table — tagged for the PC, weak in the outcome's direction, u=0 — chosen
+// among the free (u == 0) candidate slots.
+func TestTAGEAllocatesOnMispredict(t *testing.T) {
+	p := newTAGE()
+	// tagFor(pc) is nonzero at empty history for this pc, so the zero tag
+	// of an empty entry cannot accidentally make it a provider.
+	pc := uint64(0x2004)
+	// The base table starts weakly taken, so a not-taken outcome is a
+	// mispredict with provider == base: allocation must fire.
+	p.Update(pc, false)
+
+	allocs := 0
+	for i := 0; i < tageNumTables; i++ {
+		e := p.tables[i][p.index(pc, i)]
+		if e.tag == 0 && e.ctr == 0 && e.u == 0 {
+			continue // still empty
+		}
+		allocs++
+		if e.tag != p.tagFor(pc, i) {
+			t.Errorf("table %d: allocated tag %#x, want %#x", i, e.tag, p.tagFor(pc, i))
+		}
+		if e.ctr != -1 {
+			t.Errorf("table %d: allocated ctr %d, want -1 (weak not-taken)", i, e.ctr)
+		}
+		if e.u != 0 {
+			t.Errorf("table %d: allocated u %d, want 0", i, e.u)
+		}
+	}
+	if allocs != 1 {
+		t.Fatalf("mispredict allocated %d entries, want exactly 1", allocs)
+	}
+}
+
+// TestTAGEAllocationSkipsBusySlots pins the other allocation half: when
+// every longer-history candidate slot is busy (u > 0), nothing is
+// installed and each candidate's usefulness is decremented instead, so
+// repeated mispredicts eventually free a slot.
+func TestTAGEAllocationSkipsBusySlots(t *testing.T) {
+	p := newTAGE()
+	pc := uint64(0x2004)
+	for i := 0; i < tageNumTables; i++ {
+		e := &p.tables[i][p.index(pc, i)]
+		e.tag = p.tagFor(pc, i) ^ 1 // occupied by someone else
+		e.u = 2
+	}
+	p.Update(pc, false) // mispredict (base is weakly taken), provider = base
+	for i := 0; i < tageNumTables; i++ {
+		e := p.tables[i][p.index(pc, i)]
+		if e.tag != p.tagFor(pc, i)^1 {
+			t.Errorf("table %d: busy slot was overwritten", i)
+		}
+		if e.u != 1 {
+			t.Errorf("table %d: u = %d, want 1 (decremented, not cleared)", i, e.u)
+		}
+	}
+}
+
+// TestTAGEAltVsProviderBookkeeping pins the use-alternate counter and the
+// provider's usefulness updates. A freshly allocated provider is weak
+// (u=0, ctr in {0,-1}); when it disagrees with the alternate, the counter
+// tracks which of the two was right, and the provider's u only moves when
+// provider and alternate disagree.
+func TestTAGEAltVsProviderBookkeeping(t *testing.T) {
+	p := newTAGE()
+	pc := uint64(0x3004) // nonzero tag: empty entries cannot match
+	// Hand-install a weak provider in table 1 that predicts taken (ctr=0)
+	// while the base alternate predicts not-taken.
+	p.base[p.baseIndex(pc)] = 0
+	idx := p.index(pc, 1)
+	p.tables[1][idx] = tageEntry{tag: p.tagFor(pc, 1), ctr: 0, u: 0}
+
+	useAlt0 := p.useAlt
+	l := p.lookup(pc)
+	if l.provider != 1 || !l.weakProvider {
+		t.Fatalf("lookup: provider %d weak %v, want provider 1 weak", l.provider, l.weakProvider)
+	}
+	if !l.providerPred || l.altPred {
+		t.Fatalf("lookup: providerPred %v altPred %v, want taken vs not-taken", l.providerPred, l.altPred)
+	}
+	if l.pred != l.altPred {
+		t.Fatal("weak provider with useAlt >= 8 must emit the alternate prediction")
+	}
+
+	// Outcome taken: the provider was right, the alternate wrong — useAlt
+	// drops and the provider's usefulness is credited.
+	p.Update(pc, true)
+	if p.useAlt != useAlt0-1 {
+		t.Errorf("useAlt = %d after provider win, want %d", p.useAlt, useAlt0-1)
+	}
+	if got := p.tables[1][idx].u; got != 1 {
+		t.Errorf("provider u = %d after beating the alternate, want 1", got)
+	}
+	if got := p.tables[1][idx].ctr; got != 1 {
+		t.Errorf("provider ctr = %d after taken update, want 1", got)
+	}
+
+	// Re-weaken the entry and let the alternate win: useAlt climbs back.
+	p.tables[1][p.index(pc, 1)] = tageEntry{tag: p.tagFor(pc, 1), ctr: 0, u: 0}
+	p.base[p.baseIndex(pc)] = 0
+	useAlt1 := p.useAlt
+	p.Update(pc, false)
+	if p.useAlt != useAlt1+1 {
+		t.Errorf("useAlt = %d after alternate win, want %d", p.useAlt, useAlt1+1)
+	}
+}
+
+// TestTAGECloneDeterminism pins warm-snapshot semantics: after CopyStateFrom,
+// the clone and the original predict and train identically over an
+// arbitrary continuation — history register, u counters, LFSR and decay
+// phase all carried over. A drifting clone would make warm-started runs
+// diverge from cold runs of the same configuration.
+func TestTAGECloneDeterminism(t *testing.T) {
+	orig := newTAGE()
+	orig.decayPeriod = 64 // cross several decay epochs within the test
+	for _, s := range trainStream(0xfeed, 3000) {
+		orig.Predict(s.pc)
+		orig.Update(s.pc, s.taken)
+	}
+
+	clone := newTAGE()
+	clone.CopyStateFrom(orig)
+	for i, s := range trainStream(0xbeef, 3000) {
+		po, pc := orig.Predict(s.pc), clone.Predict(s.pc)
+		if po != pc {
+			t.Fatalf("step %d: clone predicts %v, original %v", i, pc, po)
+		}
+		orig.Update(s.pc, s.taken)
+		clone.Update(s.pc, s.taken)
+	}
+	if orig.ghist != clone.ghist || orig.useAlt != clone.useAlt ||
+		orig.tick != clone.tick || orig.epoch != clone.epoch || orig.lfsr != clone.lfsr {
+		t.Fatal("clone scalar state drifted from the original")
+	}
+}
+
+// TestTAGEPredictIsPure pins the interface contract the fetch replays
+// depend on: any number of Predicts between Updates must not change the
+// next prediction or the training state.
+func TestTAGEPredictIsPure(t *testing.T) {
+	a, b := newTAGE(), newTAGE()
+	for _, s := range trainStream(0xabcd, 2000) {
+		want := a.Predict(s.pc)
+		for i := 0; i < 3; i++ { // fetch replaying the same branch
+			if got := a.Predict(s.pc); got != want {
+				t.Fatalf("repeated Predict changed its answer: %v then %v", want, got)
+			}
+		}
+		b.Predict(s.pc)
+		a.Update(s.pc, s.taken)
+		b.Update(s.pc, s.taken)
+	}
+	// b predicted once per branch, a four times; their state must agree.
+	if a.ghist != b.ghist || a.useAlt != b.useAlt || a.lfsr != b.lfsr {
+		t.Fatal("extra Predict calls perturbed training state")
+	}
+}

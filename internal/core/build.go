@@ -162,14 +162,14 @@ func (c *Core) executeInst(d *pipe.DynInst, now, p int64) {
 		if fwd := c.lsq.ForwardSource(d); fwd != nil {
 			d.Forwarded = true
 		} else {
-			res := c.hier.Access(mem.AccessLoad, d.Trace.Addr, p)
+			res := c.hier.Access(mem.AccessLoad, d.Trace.PC, d.Trace.Addr, p)
 			memCycles = int64(res.Cycles)
 			d.L1Hit = res.L1Hit
 		}
 		d.ResultAt = now + (lat+memCycles)*p
 		d.DoneAt = d.ResultAt + p
 	case d.IsStore():
-		c.hier.Access(mem.AccessStore, d.Trace.Addr, p)
+		c.hier.Access(mem.AccessStore, d.Trace.PC, d.Trace.Addr, p)
 		d.ResultAt = now + lat*p
 		d.DoneAt = d.ResultAt + p
 	case d.IsControl():

@@ -65,6 +65,11 @@ type Stats struct {
 	L1I        mem.CacheStats
 	L1D        mem.CacheStats
 	L2         mem.CacheStats
+
+	// Frontend microarchitecture observables.
+	CondBranches uint64
+	Prefetch     mem.PrefetchStats
+	Demand       mem.DemandStats
 }
 
 // Issued is the total number of issued instructions across both modes.
@@ -107,6 +112,9 @@ func (c *Core) finalizeStats() {
 	s.L1I = c.hier.L1I.Stats
 	s.L1D = c.hier.L1D.Stats
 	s.L2 = c.hier.L2.Stats
+	s.CondBranches = c.pred.Stats.CondBranches
+	s.Prefetch = c.hier.PrefetchStats()
+	s.Demand = c.hier.DemandStats()
 }
 
 // Stats returns the current statistics (final after Run returns).

@@ -5,7 +5,9 @@ import (
 	"strconv"
 	"strings"
 
+	"flywheel/internal/branch"
 	"flywheel/internal/cacti"
+	"flywheel/internal/mem"
 	"flywheel/internal/sim"
 	"flywheel/internal/workload/synth"
 )
@@ -16,10 +18,17 @@ import (
 // and assembles the exploration space.
 type Axes struct {
 	ILP, Entropy, FPMix, Mem, Stride, Reuse, Code string
-	Seed                                          uint64
-	Passes                                        int
-	Arch, FE, BE, Node                            string
-	Instructions                                  uint64
+	// Period, Chase and StrideBytes are the frontend-stress profile knobs
+	// (synth.Profile.BranchPeriod / ChaseFrac / StrideBytes); "0" leaves
+	// the legacy behavior.
+	Period, Chase, StrideBytes string
+	Seed                       uint64
+	Passes                     int
+	Arch, FE, BE, Node         string
+	// Predictor / Prefetcher are comma-lists of frontend component names
+	// ("gshare,tage" / "none,delta").
+	Predictor, Prefetcher string
+	Instructions          uint64
 	// MaxPoints bounds the enumerated grid so a typo in a list (or an
 	// abusive query) fails fast instead of queueing hours of simulation;
 	// zero applies DefaultMaxPoints.
@@ -34,8 +43,10 @@ const DefaultMaxPoints = 4096
 func DefaultAxes() Axes {
 	return Axes{
 		ILP: "1,4,6", Entropy: "0,1", FPMix: "0", Mem: "32",
-		Stride: "0.5", Reuse: "0", Code: "4", Seed: 1,
+		Stride: "0.5", Reuse: "0", Code: "4",
+		Period: "0", Chase: "0", StrideBytes: "0", Seed: 1,
 		Arch: "flywheel", FE: "0,50,100", BE: "50", Node: "0.13",
+		Predictor: branch.DirGShare, Prefetcher: mem.PFNone,
 		Instructions: 300_000,
 	}
 }
@@ -72,6 +83,18 @@ func (a Axes) Space() (Space, error) {
 	if err != nil {
 		return sp, err
 	}
+	periods, err := intListDefault("period", a.Period)
+	if err != nil {
+		return sp, err
+	}
+	chases, err := floatListDefault("chase", a.Chase)
+	if err != nil {
+		return sp, err
+	}
+	sbytes, err := intListDefault("stridebytes", a.StrideBytes)
+	if err != nil {
+		return sp, err
+	}
 	for _, i := range ilps {
 		for _, e := range entropies {
 			for _, f := range fps {
@@ -79,17 +102,37 @@ func (a Axes) Space() (Space, error) {
 					for _, s := range strides {
 						for _, r := range reuses {
 							for _, c := range codes {
-								sp.Profiles = append(sp.Profiles, synth.Profile{
-									ILP: i, BranchEntropy: e, FPMix: f,
-									MemFootprintKB: m, StrideFrac: s, RegReuse: r,
-									CodeFootprintKB: c, Seed: a.Seed, Passes: a.Passes,
-								})
+								for _, bp := range periods {
+									for _, ch := range chases {
+										for _, sb := range sbytes {
+											sp.Profiles = append(sp.Profiles, synth.Profile{
+												ILP: i, BranchEntropy: e, FPMix: f,
+												MemFootprintKB: m, StrideFrac: s, RegReuse: r,
+												CodeFootprintKB: c, Seed: a.Seed, Passes: a.Passes,
+												BranchPeriod: bp, ChaseFrac: ch, StrideBytes: sb,
+											})
+										}
+									}
+								}
 							}
 						}
 					}
 				}
 			}
 		}
+	}
+
+	for _, name := range splitList(a.Predictor) {
+		if !branch.KnownDirection(name) {
+			return sp, fmt.Errorf("unknown predictor %q (want %s)", name, strings.Join(branch.Directions(), ", "))
+		}
+		sp.Predictors = append(sp.Predictors, name)
+	}
+	for _, name := range splitList(a.Prefetcher) {
+		if !mem.KnownPrefetcher(name) {
+			return sp, fmt.Errorf("unknown prefetcher %q (want %s)", name, strings.Join(mem.Prefetchers(), ", "))
+		}
+		sp.Prefetchers = append(sp.Prefetchers, name)
 	}
 
 	archNames := splitList(a.Arch)
@@ -136,10 +179,36 @@ func (a Axes) Space() (Space, error) {
 	if maxPoints == 0 {
 		maxPoints = DefaultMaxPoints
 	}
-	if size := len(sp.Profiles) * len(sp.Archs) * len(sp.FEBoosts) * len(sp.BEBoosts) * len(sp.Nodes); size > maxPoints {
+	preds, pfs := len(sp.Predictors), len(sp.Prefetchers)
+	if preds == 0 {
+		preds = 1 // normalize() will default the axis to one point
+	}
+	if pfs == 0 {
+		pfs = 1
+	}
+	if size := len(sp.Profiles) * len(sp.Archs) * preds * pfs * len(sp.FEBoosts) * len(sp.BEBoosts) * len(sp.Nodes); size > maxPoints {
 		return sp, fmt.Errorf("grid has %d points, max %d — trim an axis", size, maxPoints)
 	}
 	return sp, nil
+}
+
+// intListDefault parses a comma-list of ints, treating an empty string as
+// the single value 0 — the frontend-stress knobs are additions whose zero
+// value is "legacy behavior", so an Axes struct built without them keeps
+// its old meaning.
+func intListDefault(name, s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{0}, nil
+	}
+	return intList(name, s)
+}
+
+// floatListDefault is intListDefault for float axes.
+func floatListDefault(name, s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return []float64{0}, nil
+	}
+	return floatList(name, s)
 }
 
 func splitList(s string) []string {

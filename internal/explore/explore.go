@@ -20,8 +20,10 @@ import (
 	"sort"
 	"strings"
 
+	"flywheel/internal/branch"
 	"flywheel/internal/cacti"
 	"flywheel/internal/lab"
+	"flywheel/internal/mem"
 	"flywheel/internal/sim"
 	"flywheel/internal/stats"
 	"flywheel/internal/workload/synth"
@@ -37,6 +39,13 @@ type Space struct {
 	// baseline is always simulated per (profile, node) for normalization,
 	// whether or not it is listed.
 	Archs []sim.Arch
+	// Predictors / Prefetchers are the frontend axes: direction-predictor
+	// and L1↔L2-prefetcher names crossed into the grid. Nil means the
+	// defaults ({"gshare"} and {"none"}), which reproduce the pre-frontend
+	// grids exactly. The per-(profile, node) normalization baseline always
+	// runs the default frontend, so a frontend win shows up as speedup.
+	Predictors  []string
+	Prefetchers []string
 	// FEBoosts / BEBoosts are the clock-ratio axes in percent; nil means
 	// {0, 50, 100} and {50} respectively. The baseline architecture
 	// ignores boosts, so it contributes one point per (profile, node).
@@ -52,6 +61,12 @@ type Space struct {
 func (s Space) normalize() Space {
 	if s.Archs == nil {
 		s.Archs = []sim.Arch{sim.ArchFlywheel}
+	}
+	if s.Predictors == nil {
+		s.Predictors = []string{branch.DirGShare}
+	}
+	if s.Prefetchers == nil {
+		s.Prefetchers = []string{mem.PFNone}
 	}
 	if s.FEBoosts == nil {
 		s.FEBoosts = []int{0, 50, 100}
@@ -77,6 +92,10 @@ type Point struct {
 	Node    cacti.Node
 	FEBoost int
 	BEBoost int
+	// Predictor / Prefetcher name the cell's frontend (canonical names,
+	// never empty — "gshare" / "none" are the defaults).
+	Predictor  string
+	Prefetcher string
 
 	Result   sim.Result
 	Baseline sim.Result
@@ -128,8 +147,10 @@ type Options struct {
 var sharedCache = lab.NewCache()
 
 // gridJobs enumerates the grid in deterministic nested order — profile,
-// node, arch, FE boost, BE boost — preceded by one baseline job per
-// (profile, node). The baseline arch collapses its boost axes.
+// node, arch, predictor, prefetcher, FE boost, BE boost — preceded by one
+// baseline job per (profile, node). The baseline arch collapses its boost
+// axes. The normalization baseline always runs the default frontend, so
+// every cell of a frontend sweep divides by the same reference machine.
 func gridJobs(s Space) (baselines, grid []lab.Job, points []Point) {
 	for _, p := range s.Profiles {
 		name := p.Name()
@@ -143,18 +164,24 @@ func gridJobs(s Space) (baselines, grid []lab.Job, points []Point) {
 				if arch == sim.ArchBaseline {
 					fes, bes = []int{0}, []int{0}
 				}
-				for _, fe := range fes {
-					for _, be := range bes {
-						grid = append(grid, lab.Job{
-							Workload: name, Arch: arch, Node: node,
-							FEBoostPct: fe, BEBoostPct: be,
-							MaxInstructions: s.Instructions,
-						})
-						points = append(points, Point{
-							Profile: p, Arch: arch, Node: node,
-							FEBoost: fe, BEBoost: be,
-							gridIndex: len(points),
-						})
+				for _, pred := range s.Predictors {
+					for _, pf := range s.Prefetchers {
+						for _, fe := range fes {
+							for _, be := range bes {
+								grid = append(grid, lab.Job{
+									Workload: name, Arch: arch, Node: node,
+									FEBoostPct: fe, BEBoostPct: be,
+									MaxInstructions: s.Instructions,
+									Predictor:       pred, Prefetcher: pf,
+								})
+								points = append(points, Point{
+									Profile: p, Arch: arch, Node: node,
+									FEBoost: fe, BEBoost: be,
+									Predictor: pred, Prefetcher: pf,
+									gridIndex: len(points),
+								})
+							}
+						}
 					}
 				}
 			}
@@ -250,13 +277,14 @@ func pointRow(p Point) []string {
 	}
 	return []string{
 		p.Profile.String(), p.Arch.String(), p.Node.String(),
+		p.Predictor, p.Prefetcher,
 		fmt.Sprintf("%d", p.FEBoost), fmt.Sprintf("%d", p.BEBoost),
 		stats.F(p.Speedup, 3), stats.F(p.EnergyRatio, 3),
 		stats.Pct(p.Result.ECResidency), stats.F(p.Result.IPC, 2), mark,
 	}
 }
 
-var pointHeader = []string{"profile", "arch", "node", "FE%", "BE%", "speedup", "energy", "EC res", "IPC", "frontier"}
+var pointHeader = []string{"profile", "arch", "node", "pred", "pf", "FE%", "BE%", "speedup", "energy", "EC res", "IPC", "frontier"}
 
 // Table renders every grid point, frontier members starred.
 func (r *Report) Table() *stats.Table {
@@ -276,15 +304,21 @@ func (r *Report) FrontierTable() *stats.Table {
 	return tbl
 }
 
-var csvHeader = []string{"profile", "arch", "node", "fe_pct", "be_pct", "time_ps", "ipc", "speedup", "energy_ratio", "ec_residency", "frontier"}
+var csvHeader = []string{"profile", "arch", "node", "predictor", "prefetcher", "fe_pct", "be_pct",
+	"time_ps", "ipc", "speedup", "energy_ratio", "ec_residency",
+	"branch_acc", "l2_hit", "pf_acc", "pf_cov", "frontier"}
 
 func csvRecord(p Point) []string {
 	return []string{
 		p.Profile.String(), p.Arch.String(), p.Node.String(),
+		p.Predictor, p.Prefetcher,
 		fmt.Sprintf("%d", p.FEBoost), fmt.Sprintf("%d", p.BEBoost),
 		fmt.Sprintf("%d", p.Result.TimePS), stats.F(p.Result.IPC, 4),
 		stats.F(p.Speedup, 4), stats.F(p.EnergyRatio, 4),
-		stats.F(p.Result.ECResidency, 4), fmt.Sprintf("%t", p.OnFrontier),
+		stats.F(p.Result.ECResidency, 4),
+		stats.F(p.Result.BranchAccuracy, 4), stats.F(p.Result.DemandL2HitRate, 4),
+		stats.F(p.Result.PrefetchAccuracy, 4), stats.F(p.Result.PrefetchCoverage, 4),
+		fmt.Sprintf("%t", p.OnFrontier),
 	}
 }
 

@@ -119,13 +119,16 @@ func (t AnalyticTier) Evaluate(p *Plan, opt Options) ([]Point, error) {
 		b, ok := base[k]
 		if !ok {
 			var err error
-			b, err = t.Model.Predict(pt.Profile, sim.ArchBaseline, pt.Node, 0, 0, n)
+			// The normalization baseline always runs the default frontend,
+			// mirroring the exact tier's baseline jobs.
+			b, err = t.Model.Predict(pt.Profile, sim.ArchBaseline, pt.Node, 0, 0, analytic.Frontend{}, n)
 			if err != nil {
 				return nil, err
 			}
 			base[k] = b
 		}
-		r, err := t.Model.Predict(pt.Profile, pt.Arch, pt.Node, pt.FEBoost, pt.BEBoost, n)
+		front := analytic.Frontend{Predictor: pt.Predictor, Prefetcher: pt.Prefetcher}
+		r, err := t.Model.Predict(pt.Profile, pt.Arch, pt.Node, pt.FEBoost, pt.BEBoost, front, n)
 		if err != nil {
 			return nil, err
 		}

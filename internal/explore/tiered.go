@@ -15,7 +15,9 @@ import (
 	"strings"
 
 	"flywheel/internal/analytic"
+	"flywheel/internal/branch"
 	"flywheel/internal/lab"
+	"flywheel/internal/mem"
 	"flywheel/internal/sim"
 	"flywheel/internal/stats"
 	"flywheel/internal/workload/synth"
@@ -172,12 +174,29 @@ func CalibrationConfig(s Space, opt Options) analytic.Config {
 			archs = append(archs, a)
 		}
 	}
+	// The default frontend leads both lists for the same reason the
+	// baseline arch does: the normalization baseline predicts with it, so
+	// the model must always cover it.
+	preds := []string{branch.DirGShare}
+	for _, p := range s.Predictors {
+		if p != branch.DirGShare {
+			preds = append(preds, p)
+		}
+	}
+	pfs := []string{mem.PFNone}
+	for _, p := range s.Prefetchers {
+		if p != mem.PFNone {
+			pfs = append(pfs, p)
+		}
+	}
 	return analytic.Config{
 		Profiles:     s.Profiles,
 		Archs:        archs,
 		FEBoosts:     anchorBoosts(s.FEBoosts),
 		BEBoosts:     anchorBoosts(s.BEBoosts),
 		Nodes:        s.Nodes,
+		Predictors:   preds,
+		Prefetchers:  pfs,
 		Instructions: s.Instructions,
 		Workers:      opt.Workers,
 		Cache:        opt.Cache,

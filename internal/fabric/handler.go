@@ -57,10 +57,13 @@ type ClusterStats struct {
 	// AnalyticCells / ConfirmedCells sum the workers' two-tier frontier
 	// counters: cells screened analytically versus cells simulated
 	// cycle-accurately, cluster-wide.
-	AnalyticCells  uint64        `json:"analytic_cells"`
-	ConfirmedCells uint64        `json:"confirmed_cells"`
-	Workers        []WorkerStats `json:"workers"`
-	UptimeSeconds  float64       `json:"uptime_seconds"`
+	AnalyticCells  uint64 `json:"analytic_cells"`
+	ConfirmedCells uint64 `json:"confirmed_cells"`
+	// Frontend sums the workers' frontend observable totals (branch and
+	// prefetch activity over delivered sweep results), cluster-wide.
+	Frontend      labd.FrontendStats `json:"frontend"`
+	Workers       []WorkerStats      `json:"workers"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
 }
 
 // ClusterHealth is the coordinator's /v1/health body.
@@ -171,6 +174,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			reply.Cache.Entries += st.Cache.Entries
 			reply.AnalyticCells += st.AnalyticCells
 			reply.ConfirmedCells += st.ConfirmedCells
+			reply.Frontend.Add(st.Frontend)
 		}
 		reply.Workers = append(reply.Workers, ws)
 	}

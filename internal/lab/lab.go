@@ -17,8 +17,10 @@ import (
 	"strconv"
 	"sync"
 
+	"flywheel/internal/branch"
 	"flywheel/internal/cacti"
 	"flywheel/internal/lab/store"
+	"flywheel/internal/mem"
 	"flywheel/internal/sim"
 )
 
@@ -36,6 +38,11 @@ type Job struct {
 	// 0 runs to completion.
 	MaxInstructions uint64
 
+	// Predictor and Prefetcher select the frontend microarchitecture; empty
+	// means the defaults ("gshare", "none"), exactly like sim.RunConfig.
+	Predictor  string
+	Prefetcher string
+
 	// Figure 2 baseline variants.
 	ExtraFrontEndStages   int
 	PipelinedWakeupSelect bool
@@ -44,6 +51,12 @@ type Job struct {
 func (j Job) normalize() Job {
 	if j.Node == 0 {
 		j.Node = cacti.Node130
+	}
+	if j.Predictor == "" {
+		j.Predictor = branch.DirGShare
+	}
+	if j.Prefetcher == "" {
+		j.Prefetcher = mem.PFNone
 	}
 	return j
 }
@@ -58,11 +71,12 @@ func (j Job) normalize() Job {
 // processes; the on-disk store addresses entries by it.
 func (j Job) Key() string {
 	j = j.normalize()
-	return fmt.Sprintf("wl=%s|arch=%d|node=%s|fe=%d|be=%d|n=%d|fes=%d|pws=%t",
+	return fmt.Sprintf("wl=%s|arch=%d|node=%s|fe=%d|be=%d|n=%d|fes=%d|pws=%t|pred=%s|pf=%s",
 		strconv.Quote(j.Workload), j.Arch,
 		strconv.FormatFloat(float64(j.Node), 'g', -1, 64),
 		j.FEBoostPct, j.BEBoostPct, j.MaxInstructions,
-		j.ExtraFrontEndStages, j.PipelinedWakeupSelect)
+		j.ExtraFrontEndStages, j.PipelinedWakeupSelect,
+		strconv.Quote(j.Predictor), strconv.Quote(j.Prefetcher))
 }
 
 // Config converts the job to the simulator's run configuration.
@@ -75,6 +89,8 @@ func (j Job) Config() sim.RunConfig {
 		FEBoostPct:            j.FEBoostPct,
 		BEBoostPct:            j.BEBoostPct,
 		MaxInstructions:       j.MaxInstructions,
+		Predictor:             j.Predictor,
+		Prefetcher:            j.Prefetcher,
 		ExtraFrontEndStages:   j.ExtraFrontEndStages,
 		PipelinedWakeupSelect: j.PipelinedWakeupSelect,
 	}

@@ -6,7 +6,9 @@ import (
 	"sync"
 	"testing"
 
+	"flywheel/internal/branch"
 	"flywheel/internal/cacti"
+	"flywheel/internal/mem"
 	"flywheel/internal/sim"
 )
 
@@ -105,6 +107,31 @@ func TestKeyNormalizesDefaults(t *testing.T) {
 	c := Job{Workload: "gzip", Node: cacti.Node90, MaxInstructions: testBudget}
 	if a.Key() == c.Key() {
 		t.Errorf("different nodes share key %q", a.Key())
+	}
+}
+
+// TestKeySeparatesFrontends: the frontend axes are part of the cache
+// identity — an empty selection normalizes to the gshare/none default, and
+// every distinct (predictor, prefetcher) pair owns a distinct key, so a
+// TAGE run can never serve from a G-share entry.
+func TestKeySeparatesFrontends(t *testing.T) {
+	base := Job{Workload: "gzip", MaxInstructions: testBudget}
+	explicit := base
+	explicit.Predictor, explicit.Prefetcher = branch.DirGShare, mem.PFNone
+	if base.Key() != explicit.Key() {
+		t.Errorf("default frontend key %q != explicit gshare/none key %q", base.Key(), explicit.Key())
+	}
+	seen := map[string]string{}
+	for _, pred := range branch.Directions() {
+		for _, pf := range mem.Prefetchers() {
+			j := base
+			j.Predictor, j.Prefetcher = pred, pf
+			k := j.Key()
+			if prev, dup := seen[k]; dup {
+				t.Errorf("frontends %s/%s and %s share key %q", pred, pf, prev, k)
+			}
+			seen[k] = pred + "/" + pf
+		}
 	}
 }
 

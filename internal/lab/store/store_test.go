@@ -163,6 +163,28 @@ func TestVersionChangesAddress(t *testing.T) {
 	}
 }
 
+// TestFrontendModelVersionInvalidatesStore pins that the pluggable-frontend
+// change bumped sim.ModelVersion to 4: results now carry frontend
+// observables and a (predictor, prefetcher) identity that version-3 entries
+// lack, so the whole pre-frontend on-disk universe must be unreachable.
+func TestFrontendModelVersionInvalidatesStore(t *testing.T) {
+	if sim.ModelVersion != 4 {
+		t.Fatalf("sim.ModelVersion = %d; the frontend refactor shipped as version 4 — bump this test (and make sure the bump was intentional)", sim.ModelVersion)
+	}
+	dir := t.TempDir()
+	prev := &Store{dir: dir, version: "s2-m3"} // the pre-frontend stamp
+	if err := prev.Put("k", testResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Get("k"); ok {
+		t.Fatal("a pre-frontend (model v3) entry served as a hit under model v4")
+	}
+}
+
 // TestKeyMismatchIsIgnored: an entry whose stamped key does not match the
 // requested key (hash collision, tampering) is rejected.
 func TestKeyMismatchIsIgnored(t *testing.T) {

@@ -15,7 +15,8 @@
 //	                   simulate once.
 //	GET  /v1/frontier  explore-style Pareto query; parameters mirror the
 //	                   explore CLI flags (ilp, entropy, fp, mem, stride,
-//	                   rr, code, seed, passes, arch, fe, be, node, n,
+//	                   rr, code, period, chase, stridebytes, seed, passes,
+//	                   arch, predictor, prefetcher, fe, be, node, n,
 //	                   tier, margin, audit, auditseed). tier=analytic
 //	                   screens the grid with a calibrated closed-form
 //	                   model and simulates only cells near the predicted
@@ -116,6 +117,31 @@ type StatsReply struct {
 	// corrupt files those passes moved aside.
 	Scrubs           uint64 `json:"scrubs"`
 	QuarantinedFiles uint64 `json:"quarantined_files"`
+	// Frontend aggregates the frontend observables of every sweep result
+	// this worker delivered (cache and store hits included — the counters
+	// describe delivered results, not simulation effort). A fabric
+	// coordinator sums them cluster-wide.
+	Frontend FrontendStats `json:"frontend"`
+}
+
+// FrontendStats totals the branch-predictor and prefetcher activity across
+// delivered sweep results.
+type FrontendStats struct {
+	CondBranches   uint64 `json:"cond_branches"`
+	Mispredicts    uint64 `json:"mispredicts"`
+	PrefetchIssued uint64 `json:"prefetch_issued"`
+	PrefetchUseful uint64 `json:"prefetch_useful"`
+	PrefetchLate   uint64 `json:"prefetch_late"`
+}
+
+// Add accumulates another stats block (used by the fabric coordinator's
+// cluster-wide sum).
+func (f *FrontendStats) Add(o FrontendStats) {
+	f.CondBranches += o.CondBranches
+	f.Mispredicts += o.Mispredicts
+	f.PrefetchIssued += o.PrefetchIssued
+	f.PrefetchUseful += o.PrefetchUseful
+	f.PrefetchLate += o.PrefetchLate
 }
 
 // ScrubReply is the /v1/scrub body: one worker's store-integrity report.
@@ -139,6 +165,8 @@ type FrontierPoint struct {
 	Profile     string  `json:"profile"`
 	Arch        string  `json:"arch"`
 	Node        float64 `json:"node"`
+	Predictor   string  `json:"predictor"`
+	Prefetcher  string  `json:"prefetcher"`
 	FEBoostPct  int     `json:"fe_pct"`
 	BEBoostPct  int     `json:"be_pct"`
 	Speedup     float64 `json:"speedup"`
@@ -146,6 +174,10 @@ type FrontierPoint struct {
 	ECResidency float64 `json:"ec_residency"`
 	IPC         float64 `json:"ipc"`
 	TimePS      int64   `json:"time_ps"`
+	BranchAcc   float64 `json:"branch_acc"`
+	L2HitRate   float64 `json:"l2_hit"`
+	PfAccuracy  float64 `json:"pf_acc"`
+	PfCoverage  float64 `json:"pf_cov"`
 }
 
 // FrontierReply is the /v1/frontier body. Tiered queries (tier=analytic,
@@ -188,6 +220,13 @@ type Server struct {
 	confirmedCells atomic.Uint64
 	scrubs         atomic.Uint64
 	quarantined    atomic.Uint64
+
+	// Frontend observable totals over delivered sweep results.
+	condBranches atomic.Uint64
+	mispredicts  atomic.Uint64
+	pfIssued     atomic.Uint64
+	pfUseful     atomic.Uint64
+	pfLate       atomic.Uint64
 
 	// scrubMu serializes scrub passes: concurrent scrubs are safe but
 	// would double-count each other's quarantine races.
@@ -356,6 +395,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			line.Error = o.err.Error()
 		} else {
 			line.Result = &o.res
+			s.condBranches.Add(o.res.CondBranches)
+			s.mispredicts.Add(o.res.Mispredicts)
+			s.pfIssued.Add(o.res.PrefetchIssued)
+			s.pfUseful.Add(o.res.PrefetchUseful)
+			s.pfLate.Add(o.res.PrefetchLate)
 		}
 		if err := enc.Encode(line); err != nil {
 			// Client went away mid-stream; the cache keeps the finished work.
@@ -384,7 +428,12 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	get("stride", &axes.Stride)
 	get("rr", &axes.Reuse)
 	get("code", &axes.Code)
+	get("period", &axes.Period)
+	get("chase", &axes.Chase)
+	get("stridebytes", &axes.StrideBytes)
 	get("arch", &axes.Arch)
+	get("predictor", &axes.Predictor)
+	get("prefetcher", &axes.Prefetcher)
 	get("fe", &axes.FE)
 	get("be", &axes.BE)
 	get("node", &axes.Node)
@@ -515,6 +564,8 @@ func frontierPoint(p explore.Point) FrontierPoint {
 		Profile:     p.Profile.String(),
 		Arch:        p.Arch.String(),
 		Node:        float64(p.Node),
+		Predictor:   p.Predictor,
+		Prefetcher:  p.Prefetcher,
 		FEBoostPct:  p.FEBoost,
 		BEBoostPct:  p.BEBoost,
 		Speedup:     p.Speedup,
@@ -522,6 +573,10 @@ func frontierPoint(p explore.Point) FrontierPoint {
 		ECResidency: p.Result.ECResidency,
 		IPC:         p.Result.IPC,
 		TimePS:      p.Result.TimePS,
+		BranchAcc:   p.Result.BranchAccuracy,
+		L2HitRate:   p.Result.DemandL2HitRate,
+		PfAccuracy:  p.Result.PrefetchAccuracy,
+		PfCoverage:  p.Result.PrefetchCoverage,
 	}
 }
 
@@ -538,6 +593,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ConfirmedCells:   s.confirmedCells.Load(),
 		Scrubs:           s.scrubs.Load(),
 		QuarantinedFiles: s.quarantined.Load(),
+		Frontend: FrontendStats{
+			CondBranches:   s.condBranches.Load(),
+			Mispredicts:    s.mispredicts.Load(),
+			PrefetchIssued: s.pfIssued.Load(),
+			PrefetchUseful: s.pfUseful.Load(),
+			PrefetchLate:   s.pfLate.Load(),
+		},
 	}
 	if st := s.cache.Store(); st != nil {
 		entries, bytes := st.Size()

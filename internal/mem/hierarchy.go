@@ -14,6 +14,9 @@ type HierarchyConfig struct {
 	// when the clock speeds up; expressing it as wall-clock time gives the
 	// same behaviour.
 	MemLatencyPS int64
+	// Prefetch selects the hardware prefetcher at the L1↔L2 boundary; the
+	// zero value means none (the paper's machine).
+	Prefetch PrefetchConfig
 }
 
 // DefaultHierarchyConfig returns the Table 2 memory system, given the
@@ -38,6 +41,73 @@ func DefaultHierarchyConfig(baselinePeriodPS int64) HierarchyConfig {
 	}
 }
 
+// DemandStats aggregates the demand data-access stream (loads and stores
+// through L1D), independent of any prefetcher.
+type DemandStats struct {
+	DataAccesses uint64
+	DataCycles   uint64 // sum of demand data-access latencies, in accessor cycles
+	L2Lookups    uint64 // demand data accesses that missed L1D
+	L2Hits       uint64
+}
+
+// AvgDataCycles is the average demand data-access latency in cycles.
+func (s DemandStats) AvgDataCycles() float64 {
+	if s.DataAccesses == 0 {
+		return 0
+	}
+	return float64(s.DataCycles) / float64(s.DataAccesses)
+}
+
+// L2HitRate is the demand (non-prefetch) L2 hit rate.
+func (s DemandStats) L2HitRate() float64 {
+	if s.L2Lookups == 0 {
+		return 0
+	}
+	return float64(s.L2Hits) / float64(s.L2Lookups)
+}
+
+// PrefetchStats accounts for the prefetcher's work.
+type PrefetchStats struct {
+	Trains       uint64 // demand L1D misses observed by the prefetcher
+	Issued       uint64 // prefetch fills started (post filtering)
+	Useful       uint64 // demand L2 hits on a line a prefetch installed
+	Late         uint64 // demand misses that caught their fill in flight
+	DemandMisses uint64 // demand L2 misses (includes Late)
+}
+
+// Accuracy is the fraction of issued prefetches a demand access consumed
+// (timely or late).
+func (s PrefetchStats) Accuracy() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.Useful+s.Late) / float64(s.Issued)
+}
+
+// Coverage is the fraction of would-be demand L2 misses the prefetcher
+// fully hid (late fills count as misses).
+func (s PrefetchStats) Coverage() float64 {
+	if s.Useful+s.DemandMisses == 0 {
+		return 0
+	}
+	return float64(s.Useful) / float64(s.Useful+s.DemandMisses)
+}
+
+const (
+	// prefetchDelay models the fill pipe: a prefetch issued at demand
+	// access n is resident from access n+prefetchDelay; demanded sooner,
+	// it is late and only hides half the memory penalty.
+	prefetchDelay = 4
+	// maxPendingPrefetch bounds the in-flight prefetch queue (an MSHR
+	// file); further candidates are dropped, not queued.
+	maxPendingPrefetch = 64
+)
+
+type pendingPrefetch struct {
+	line  uint64
+	ready uint64 // DemandStats.DataAccesses stamp when the fill lands
+}
+
 // Hierarchy glues the cache levels together and converts miss chains into
 // access latencies for the timing cores.
 type Hierarchy struct {
@@ -45,27 +115,66 @@ type Hierarchy struct {
 	L1D *Cache
 	L2  *Cache
 	cfg HierarchyConfig
+
+	// Prefetch machinery (nil / empty when cfg.Prefetch is off).
+	pf         Prefetcher
+	pending    []pendingPrefetch   // FIFO, ready ascending
+	pfResident map[uint64]struct{} // prefetched L2 lines not yet demanded
+	pfBuf      []uint64
+
+	demand  DemandStats
+	pfStats PrefetchStats
 }
 
 // NewHierarchy builds the hierarchy.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	return &Hierarchy{
+	h := &Hierarchy{
 		L1I: NewCache(cfg.L1I),
 		L1D: NewCache(cfg.L1D),
 		L2:  NewCache(cfg.L2),
 		cfg: cfg,
 	}
+	if cfg.Prefetch.Kind != "" && cfg.Prefetch.Kind != PFNone {
+		h.pf = newPrefetcher(cfg.Prefetch)
+		h.pfResident = make(map[uint64]struct{})
+	}
+	return h
 }
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
-// CopyStateFrom copies the cache state (tags, LRU, statistics) of an
-// identically configured hierarchy into this one.
+// Prefetcher returns the active prefetcher's canonical name.
+func (h *Hierarchy) Prefetcher() string {
+	if h.pf == nil {
+		return PFNone
+	}
+	return h.pf.Kind()
+}
+
+// PrefetchStats returns the prefetch counters (zero when no prefetcher).
+func (h *Hierarchy) PrefetchStats() PrefetchStats { return h.pfStats }
+
+// DemandStats returns the demand data-access counters.
+func (h *Hierarchy) DemandStats() DemandStats { return h.demand }
+
+// CopyStateFrom copies the cache state (tags, LRU, statistics) and the
+// prefetcher's training and in-flight state of an identically configured
+// hierarchy into this one.
 func (h *Hierarchy) CopyStateFrom(src *Hierarchy) {
 	h.L1I.CopyStateFrom(src.L1I)
 	h.L1D.CopyStateFrom(src.L1D)
 	h.L2.CopyStateFrom(src.L2)
+	if h.pf != nil {
+		h.pf.CopyStateFrom(src.pf)
+		h.pending = append(h.pending[:0], src.pending...)
+		clear(h.pfResident)
+		for line := range src.pfResident {
+			h.pfResident[line] = struct{}{}
+		}
+	}
+	h.demand = src.demand
+	h.pfStats = src.pfStats
 }
 
 // AccessKind selects the L1 cache used for an access.
@@ -87,46 +196,161 @@ type Latency struct {
 	L2Hit  bool
 }
 
-// Access simulates one access and returns its latency expressed in cycles of
-// a clock with the given period (picoseconds per cycle).
-func (h *Hierarchy) Access(kind AccessKind, addr uint64, periodPS int64) Latency {
+// Access simulates one access by the instruction at pc and returns its
+// latency expressed in cycles of a clock with the given period
+// (picoseconds per cycle). pc feeds the PC-indexed prefetcher; fetches
+// pass their own address.
+func (h *Hierarchy) Access(kind AccessKind, pc, addr uint64, periodPS int64) Latency {
 	l1 := h.L1I
 	write := false
+	data := false
 	switch kind {
 	case AccessLoad:
-		l1 = h.L1D
+		l1, data = h.L1D, true
 	case AccessStore:
-		l1 = h.L1D
+		l1, data = h.L1D, true
 		write = true
+	}
+	if data {
+		h.demand.DataAccesses++
+		if h.pf != nil {
+			h.drainPrefetches()
+		}
 	}
 	lat := Latency{Cycles: l1.Config().HitLatency}
 	res := l1.Access(addr, write)
 	if res.Hit {
 		lat.L1Hit = true
-		return lat
+		return h.finish(data, lat)
 	}
 	if res.Writeback {
 		// Dirty victim goes to L2; modelled as an L2 write for statistics,
 		// latency hidden by the writeback buffer.
-		h.L2.Access(res.EvictedAddr, true)
+		h.l2Access(res.EvictedAddr, true)
 	}
 	lat.Cycles += h.cfg.L2Latency
-	l2res := h.L2.Access(addr, false)
-	if l2res.Hit {
-		lat.L2Hit = true
-		return lat
+	if data {
+		h.demand.L2Lookups++
 	}
 	if periodPS <= 0 {
 		periodPS = 1
 	}
 	memCycles := int((h.cfg.MemLatencyPS + periodPS - 1) / periodPS)
+	line := addr &^ uint64(h.cfg.L2.LineBytes-1)
+	if data && h.pf != nil && h.dropPending(line) {
+		// Late prefetch: the fill is in flight; it completes now and the
+		// demand pays half the memory penalty for the remaining overlap.
+		h.pfStats.Late++
+		h.pfStats.DemandMisses++
+		h.l2Access(addr, false)
+		lat.Cycles += memCycles / 2
+		h.train(pc, addr, line)
+		return h.finish(data, lat)
+	}
+	l2res := h.l2Access(addr, false)
+	if l2res.Hit {
+		lat.L2Hit = true
+		if data {
+			h.demand.L2Hits++
+			if h.pf != nil {
+				if _, ok := h.pfResident[line]; ok {
+					delete(h.pfResident, line)
+					h.pfStats.Useful++
+				}
+				h.train(pc, addr, line)
+			}
+		}
+		return h.finish(data, lat)
+	}
 	lat.Cycles += memCycles
+	if data && h.pf != nil {
+		h.pfStats.DemandMisses++
+		h.train(pc, addr, line)
+	}
+	return h.finish(data, lat)
+}
+
+func (h *Hierarchy) finish(data bool, lat Latency) Latency {
+	if data {
+		h.demand.DataCycles += uint64(lat.Cycles)
+	}
 	return lat
 }
 
-// ResetStats clears all cache statistics (not contents).
+// l2Access wraps L2 accesses so lines evicted for any reason (demand
+// fills, writebacks, prefetch fills) leave the prefetched-resident set.
+func (h *Hierarchy) l2Access(addr uint64, write bool) AccessResult {
+	res := h.L2.Access(addr, write)
+	if res.Evicted {
+		delete(h.pfResident, res.EvictedAddr)
+	}
+	return res
+}
+
+// drainPrefetches completes in-flight prefetch fills whose delay elapsed.
+func (h *Hierarchy) drainPrefetches() {
+	n := 0
+	for _, p := range h.pending {
+		if p.ready > h.demand.DataAccesses {
+			break
+		}
+		if !h.l2Access(p.line, false).Hit {
+			// The fill actually installed the line; track its first use.
+			h.pfResident[p.line] = struct{}{}
+		}
+		n++
+	}
+	if n > 0 {
+		h.pending = h.pending[:copy(h.pending, h.pending[n:])]
+	}
+}
+
+// train feeds one demand L1D miss to the prefetcher and queues the
+// candidate lines it returns, filtering lines already resident or in
+// flight.
+func (h *Hierarchy) train(pc, addr, demandLine uint64) {
+	h.pfStats.Trains++
+	h.pfBuf = h.pf.Observe(pc, addr, h.pfBuf[:0])
+	for _, a := range h.pfBuf {
+		line := a &^ uint64(h.cfg.L2.LineBytes-1)
+		if line == demandLine || h.L2.Probe(line) || h.isPending(line) {
+			continue
+		}
+		if len(h.pending) >= maxPendingPrefetch {
+			break
+		}
+		h.pending = append(h.pending, pendingPrefetch{line: line, ready: h.demand.DataAccesses + prefetchDelay})
+		h.pfStats.Issued++
+	}
+}
+
+func (h *Hierarchy) isPending(line uint64) bool {
+	for _, p := range h.pending {
+		if p.line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// dropPending removes line from the in-flight queue, reporting whether it
+// was there.
+func (h *Hierarchy) dropPending(line uint64) bool {
+	for i, p := range h.pending {
+		if p.line == line {
+			h.pending = append(h.pending[:i], h.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats clears all cache, demand and prefetch statistics (not
+// contents or training state).
 func (h *Hierarchy) ResetStats() {
 	h.L1I.Stats = CacheStats{}
 	h.L1D.Stats = CacheStats{}
 	h.L2.Stats = CacheStats{}
+	h.demand = DemandStats{}
+	h.pfStats = PrefetchStats{}
 }

@@ -208,7 +208,7 @@ func TestHierarchyLatencies(t *testing.T) {
 	h := NewHierarchy(cfg)
 
 	// Cold fetch: L1 miss, L2 miss -> 2 + 10 + 100 cycles at baseline.
-	lat := h.Access(AccessFetch, 0x1000, 1000)
+	lat := h.Access(AccessFetch, 0, 0x1000, 1000)
 	if lat.L1Hit || lat.L2Hit {
 		t.Errorf("cold access hit: %+v", lat)
 	}
@@ -217,17 +217,17 @@ func TestHierarchyLatencies(t *testing.T) {
 	}
 
 	// Second access: L1 hit.
-	lat = h.Access(AccessFetch, 0x1000, 1000)
+	lat = h.Access(AccessFetch, 0, 0x1000, 1000)
 	if !lat.L1Hit || lat.Cycles != 2 {
 		t.Errorf("warm fetch = %+v, want L1 hit 2 cycles", lat)
 	}
 
 	// Loads and stores go to the D-cache, independent of the I-cache.
-	lat = h.Access(AccessLoad, 0x1000, 1000)
+	lat = h.Access(AccessLoad, 0, 0x1000, 1000)
 	if lat.L1Hit {
 		t.Error("load hit in L1D after only a fetch touched the line")
 	}
-	lat = h.Access(AccessStore, 0x1000, 1000)
+	lat = h.Access(AccessStore, 0, 0x1000, 1000)
 	if !lat.L1Hit {
 		t.Error("store missed after load allocated the line")
 	}
@@ -236,10 +236,10 @@ func TestHierarchyLatencies(t *testing.T) {
 func TestHierarchyL2HitPath(t *testing.T) {
 	cfg := DefaultHierarchyConfig(1000)
 	h := NewHierarchy(cfg)
-	h.Access(AccessLoad, 0x4000, 1000) // allocate in L1D and L2
+	h.Access(AccessLoad, 0, 0x4000, 1000) // allocate in L1D and L2
 	// Evict from tiny... L1D is large; instead access same line via fetch
 	// path: L1I misses but L2 hits.
-	lat := h.Access(AccessFetch, 0x4000, 1000)
+	lat := h.Access(AccessFetch, 0, 0x4000, 1000)
 	if lat.L1Hit {
 		t.Error("fetch hit L1I unexpectedly")
 	}
@@ -254,7 +254,7 @@ func TestHierarchyL2HitPath(t *testing.T) {
 func TestHierarchyMemoryLatencyScalesWithClock(t *testing.T) {
 	cfg := DefaultHierarchyConfig(1000) // DRAM = 100_000 ps
 	h := NewHierarchy(cfg)
-	lat := h.Access(AccessLoad, 0x9000, 500) // 2 GHz core: twice the cycles
+	lat := h.Access(AccessLoad, 0, 0x9000, 500) // 2 GHz core: twice the cycles
 	want := 2 + 10 + 200
 	if lat.Cycles != want {
 		t.Errorf("fast-clock cold latency = %d, want %d", lat.Cycles, want)
@@ -263,7 +263,7 @@ func TestHierarchyMemoryLatencyScalesWithClock(t *testing.T) {
 
 func TestHierarchyResetStats(t *testing.T) {
 	h := NewHierarchy(DefaultHierarchyConfig(1000))
-	h.Access(AccessLoad, 0, 1000)
+	h.Access(AccessLoad, 0, 0, 1000)
 	h.ResetStats()
 	if h.L1D.Stats.Accesses() != 0 || h.L2.Stats.Accesses() != 0 {
 		t.Error("stats survived reset")

@@ -166,7 +166,7 @@ func (c *Core) issue(now int64) {
 			if fwd := c.lsq.ForwardSource(d); fwd != nil {
 				d.Forwarded = true
 			} else {
-				res := c.hier.Access(mem.AccessLoad, d.Trace.Addr, p)
+				res := c.hier.Access(mem.AccessLoad, d.Trace.PC, d.Trace.Addr, p)
 				memCycles = int64(res.Cycles)
 				d.L1Hit = res.L1Hit
 			}
@@ -175,7 +175,7 @@ func (c *Core) issue(now int64) {
 		case d.IsStore():
 			// The architected write happens at commit; the port and cache
 			// are charged here, where address and data are ready.
-			c.hier.Access(mem.AccessStore, d.Trace.Addr, p)
+			c.hier.Access(mem.AccessStore, d.Trace.PC, d.Trace.Addr, p)
 			d.ResultAt = now + lat*p
 			d.DoneAt = d.ResultAt + p
 		case d.IsControl():

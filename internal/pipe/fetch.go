@@ -190,6 +190,6 @@ func (f *Fetcher) FetchGroup(now, periodPS int64) ([]*DynInst, int) {
 		return nil, 0
 	}
 	f.Groups++
-	lat := f.hier.Access(mem.AccessFetch, group[0].Trace.PC, periodPS)
+	lat := f.hier.Access(mem.AccessFetch, group[0].Trace.PC, group[0].Trace.PC, periodPS)
 	return group, lat.Cycles
 }

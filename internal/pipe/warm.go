@@ -37,7 +37,7 @@ func (w *Warmer) Observe(tr emu.Trace) {
 	// Instruction fetch, one access per cache line actually entered.
 	line := tr.PC &^ uint64(w.hier.L1I.Config().LineBytes-1)
 	if line != w.lastFetch {
-		w.hier.Access(mem.AccessFetch, tr.PC, 1)
+		w.hier.Access(mem.AccessFetch, tr.PC, tr.PC, 1)
 		w.lastFetch = line
 	}
 	if tr.Inst.IsMem() {
@@ -45,7 +45,7 @@ func (w *Warmer) Observe(tr emu.Trace) {
 		if tr.Inst.Class() == isa.ClassStore {
 			kind = mem.AccessStore
 		}
-		w.hier.Access(kind, tr.Addr, 1)
+		w.hier.Access(kind, tr.PC, tr.Addr, 1)
 	}
 	if tr.Inst.IsControl() {
 		w.pred.Predict(tr.PC, tr.Inst)

@@ -14,9 +14,11 @@ import (
 	"testing"
 
 	"flywheel/internal/asm"
+	"flywheel/internal/branch"
 	"flywheel/internal/cacti"
 	"flywheel/internal/core"
 	"flywheel/internal/emu"
+	"flywheel/internal/mem"
 	"flywheel/internal/ooo"
 	"flywheel/internal/workload/synth"
 )
@@ -112,6 +114,64 @@ func TestDifferentialSynthetic(t *testing.T) {
 					t.Fatal(err)
 				}
 				checkState(t, arch.String(), golden, m, stats.Retired)
+			}
+		})
+	}
+}
+
+// TestDifferentialFrontends runs every (direction predictor × prefetcher)
+// combination over frontend-stressing synthetic programs on all three
+// timing cores. The frontend is pure speculation machinery — predictors
+// steer fetch, prefetchers move cache lines — so every combination must
+// retire the exact architectural state the golden emulator run produces; a
+// predictor that corrupts the retired stream or a prefetcher that observes
+// (rather than merely warms) memory shows up here, not in a paper figure.
+func TestDifferentialFrontends(t *testing.T) {
+	period := cacti.BaselinePeriodPS(cacti.Node130)
+	profiles := []synth.Profile{
+		// Periodic branches exercise TAGE's long-history tables; the chase
+		// and wide-stride knobs exercise the delta prefetcher's PC table.
+		{ILP: 4, BranchPeriod: 16, StrideFrac: 1, MemFootprintKB: 4, CodeFootprintKB: 1, Passes: 1, Seed: 6},
+		{ILP: 2, ChaseFrac: 0.5, StrideFrac: 0.5, StrideBytes: 256, MemFootprintKB: 8, CodeFootprintKB: 1, Passes: 1, Seed: 7},
+	}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			src, err := synth.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := asm.Assemble(p.Name()+".s", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := goldenRun(t, prog)
+			for _, pred := range branch.Directions() {
+				for _, pf := range mem.Prefetchers() {
+					cfg := RunConfig{Predictor: pred, Prefetcher: pf}
+					label := pred + "/" + pf
+
+					m := emu.New(prog)
+					c := ooo.New(baselineConfig(cfg, period), emu.NewStream(m, 0))
+					stats, err := c.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkState(t, "baseline "+label, golden, m, stats.Retired)
+
+					for _, arch := range []Arch{ArchFlywheel, ArchRegAlloc} {
+						cfg := cfg
+						cfg.Arch, cfg.FEBoostPct, cfg.BEBoostPct = arch, 50, 50
+						m := emu.New(prog)
+						fc := core.New(flywheelConfig(cfg, period), emu.NewStream(m, 0))
+						stats, err := fc.Run()
+						if err != nil {
+							t.Fatal(err)
+						}
+						checkState(t, arch.String()+" "+label, golden, m, stats.Retired)
+					}
+				}
 			}
 		})
 	}

@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 
+	"flywheel/internal/branch"
 	"flywheel/internal/cacti"
 	"flywheel/internal/core"
 	"flywheel/internal/emu"
@@ -62,9 +63,33 @@ type RunConfig struct {
 	// (after the workload's warm-up); 0 runs to completion.
 	MaxInstructions uint64
 
+	// Predictor selects the conditional-direction predictor ("" or
+	// "gshare", "tage", "always-taken") and Prefetcher the L1↔L2
+	// prefetcher ("" or "none", "delta") — the pluggable frontend axes.
+	Predictor  string
+	Prefetcher string
+
 	// Figure 2 baseline variants.
 	ExtraFrontEndStages   int
 	PipelinedWakeupSelect bool
+}
+
+// normalizeFrontend canonicalizes the frontend selections ("" becomes the
+// defaults the paper models) and rejects unknown names.
+func (c *RunConfig) normalizeFrontend() error {
+	if !branch.KnownDirection(c.Predictor) {
+		return fmt.Errorf("sim: unknown predictor %q (known: %v)", c.Predictor, branch.Directions())
+	}
+	if !mem.KnownPrefetcher(c.Prefetcher) {
+		return fmt.Errorf("sim: unknown prefetcher %q (known: %v)", c.Prefetcher, mem.Prefetchers())
+	}
+	if c.Predictor == "" {
+		c.Predictor = branch.DirGShare
+	}
+	if c.Prefetcher == "" {
+		c.Prefetcher = mem.PFNone
+	}
+	return nil
 }
 
 // Result is one simulation outcome.
@@ -87,6 +112,18 @@ type Result struct {
 
 	Mispredicts    uint64
 	BranchAccuracy float64
+
+	// Frontend observables: conditional-branch volume (with Mispredicts it
+	// lets accuracies aggregate across runs), prefetch effectiveness, and
+	// the demand-side memory behaviour the prefetcher is meant to improve.
+	CondBranches     uint64
+	PrefetchIssued   uint64
+	PrefetchUseful   uint64
+	PrefetchLate     uint64
+	PrefetchAccuracy float64
+	PrefetchCoverage float64
+	AvgDataCycles    float64
+	DemandL2HitRate  float64
 
 	// Full per-core statistics for detailed reporting.
 	Baseline *ooo.Stats
@@ -114,6 +151,9 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 	if cfg.Node == 0 {
 		cfg.Node = cacti.Node130
+	}
+	if err := cfg.normalizeFrontend(); err != nil {
+		return Result{}, err
 	}
 	ws, err := workloadSnapshot(w)
 	if err != nil {
@@ -169,6 +209,7 @@ func Run(cfg RunConfig) (Result, error) {
 			res.IPC = stats.IPC
 			res.Mispredicts = stats.Mispredicts
 			res.BranchAccuracy = stats.BranchAccuracy
+			res.fillFrontend(stats.CondBranches, stats.Prefetch, stats.Demand)
 			res.EnergyPJ = rep.TotalPJ
 			res.PowerW = rep.AvgPowerW
 			res.LeakageFrac = rep.LeakageFrac
@@ -190,6 +231,7 @@ func Run(cfg RunConfig) (Result, error) {
 			res.IPC = stats.IPC
 			res.Mispredicts = stats.Mispredicts
 			res.BranchAccuracy = stats.BranchAccuracy
+			res.fillFrontend(stats.CondBranches, stats.Prefetch, stats.Demand)
 			res.ECResidency = stats.ECResidency
 			res.Divergences = stats.Divergences
 			res.TraceStats = stats.EC
@@ -214,6 +256,7 @@ func baselineConfig(cfg RunConfig, period int64) ooo.Config {
 	c := ooo.DefaultConfig()
 	c.PeriodPS = period
 	c.Mem = mem.DefaultHierarchyConfig(period)
+	c.Branch.Direction, c.Mem.Prefetch = frontendFor(cfg)
 	c.ExtraFrontEndStages = cfg.ExtraFrontEndStages
 	c.PipelinedWakeupSelect = cfg.PipelinedWakeupSelect
 	c.MaxCycles = 500_000_000
@@ -224,11 +267,34 @@ func flywheelConfig(cfg RunConfig, period int64) core.Config {
 	c := core.DefaultConfig()
 	c.BasePeriodPS = period
 	c.Mem = mem.DefaultHierarchyConfig(period)
+	c.Branch.Direction, c.Mem.Prefetch = frontendFor(cfg)
 	c.FEBoostPct = cfg.FEBoostPct
 	c.BEBoostPct = cfg.BEBoostPct
 	c.ECEnabled = cfg.Arch == ArchFlywheel
 	c.MaxCycles = 500_000_000
 	return c
+}
+
+// frontendFor maps the run's (already normalized) frontend selections onto
+// the core configuration knobs.
+func frontendFor(cfg RunConfig) (direction string, pf mem.PrefetchConfig) {
+	direction = cfg.Predictor
+	if direction == "" {
+		direction = branch.DirGShare
+	}
+	return direction, mem.DefaultPrefetchConfig(cfg.Prefetcher)
+}
+
+// fillFrontend copies the frontend observables into the result.
+func (r *Result) fillFrontend(cond uint64, pf mem.PrefetchStats, dm mem.DemandStats) {
+	r.CondBranches = cond
+	r.PrefetchIssued = pf.Issued
+	r.PrefetchUseful = pf.Useful
+	r.PrefetchLate = pf.Late
+	r.PrefetchAccuracy = pf.Accuracy()
+	r.PrefetchCoverage = pf.Coverage()
+	r.AvgDataCycles = dm.AvgDataCycles()
+	r.DemandL2HitRate = dm.L2HitRate()
 }
 
 // baselineActivity converts baseline statistics into the power model's
@@ -271,6 +337,9 @@ func RunSource(name, source string, cfg RunConfig) (Result, error) {
 	if cfg.Node == 0 {
 		cfg.Node = cacti.Node130
 	}
+	if err := cfg.normalizeFrontend(); err != nil {
+		return Result{}, err
+	}
 	m := ws.machine()
 	limit := cfg.MaxInstructions
 	stream := emu.NewStream(m, limit)
@@ -290,6 +359,7 @@ func RunSource(name, source string, cfg RunConfig) (Result, error) {
 		rep := power.Compute(baselineActivity(stats), power.BaselineShape(), tech)
 		res.TimePS, res.Cycles, res.Retired, res.IPC = stats.TimePS, stats.Cycles, stats.Retired, stats.IPC
 		res.Mispredicts, res.BranchAccuracy = stats.Mispredicts, stats.BranchAccuracy
+		res.fillFrontend(stats.CondBranches, stats.Prefetch, stats.Demand)
 		res.EnergyPJ, res.PowerW, res.LeakageFrac = rep.TotalPJ, rep.AvgPowerW, rep.LeakageFrac
 		res.Baseline = &stats
 	case ArchFlywheel, ArchRegAlloc:
@@ -301,6 +371,7 @@ func RunSource(name, source string, cfg RunConfig) (Result, error) {
 		rep := power.Compute(stats.Activity(), power.FlywheelShape(), tech)
 		res.TimePS, res.Cycles, res.Retired, res.IPC = stats.TimePS, stats.Cycles(), stats.Retired, stats.IPC
 		res.Mispredicts, res.BranchAccuracy = stats.Mispredicts, stats.BranchAccuracy
+		res.fillFrontend(stats.CondBranches, stats.Prefetch, stats.Demand)
 		res.ECResidency, res.Divergences, res.TraceStats = stats.ECResidency, stats.Divergences, stats.EC
 		res.EnergyPJ, res.PowerW, res.LeakageFrac = rep.TotalPJ, rep.AvgPowerW, rep.LeakageFrac
 		res.Flywheel = &stats

@@ -9,5 +9,9 @@ package sim
 // itself is unchanged.
 //
 // Version 3 corresponds to PR 3's energy accounting (replay-issued
-// instructions no longer double-count register reads).
-const ModelVersion = 3
+// instructions no longer double-count register reads). Version 4
+// corresponds to the pluggable frontend: lab.Job cache keys grew
+// predictor/prefetcher segments and Result grew frontend observables, so
+// entries stored under version 3 keys must never satisfy version 4
+// lookups.
+const ModelVersion = 4

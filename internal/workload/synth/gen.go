@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"flywheel/internal/workload"
@@ -103,16 +104,21 @@ func Build(p Profile) (*workload.Workload, error) {
 		return nil, err
 	}
 	d := p.Defaulted()
+	desc := fmt.Sprintf("Synthetic kernel: ILP %d, branch entropy %.2f, %d KiB data, "+
+		"stride fraction %.2f, FP mix %.2f, register reuse %.2f, %d KiB code, seed %d.",
+		d.ILP, d.BranchEntropy, d.MemFootprintKB, d.StrideFrac, d.FPMix,
+		d.RegReuse, d.CodeFootprintKB, d.Seed)
+	if d.BranchPeriod != 0 || d.ChaseFrac != 0 || d.StrideBytes != 0 {
+		desc += fmt.Sprintf(" Frontend stress: branch period %d, chase fraction %.2f, stride %d B.",
+			d.BranchPeriod, d.ChaseFrac, d.StrideBytes)
+	}
 	return &workload.Workload{
-		Name:  p.Name(),
-		Suite: "synthetic",
-		FP:    d.FPMix > 0,
-		Description: fmt.Sprintf("Synthetic kernel: ILP %d, branch entropy %.2f, %d KiB data, "+
-			"stride fraction %.2f, FP mix %.2f, register reuse %.2f, %d KiB code, seed %d.",
-			d.ILP, d.BranchEntropy, d.MemFootprintKB, d.StrideFrac, d.FPMix,
-			d.RegReuse, d.CodeFootprintKB, d.Seed),
-		Source:    src,
-		WarmLabel: WarmLabel,
+		Name:        p.Name(),
+		Suite:       "synthetic",
+		FP:          d.FPMix > 0,
+		Description: desc,
+		Source:      src,
+		WarmLabel:   WarmLabel,
 	}, nil
 }
 
@@ -214,13 +220,32 @@ func (g *gen) genBody(i int) {
 	g.label(fmt.Sprintf("z%d", i))
 }
 
-// genMemFragment loads a fresh value into r15, either walking the arena
-// sequentially (stride) or addressing it pseudo-randomly; some bodies
-// store a chain accumulator back through the same address.
+// genMemFragment loads a fresh value into r15: pointer-chasing (the next
+// address depends on the last loaded value), walking the arena sequentially
+// (stride), or addressing it pseudo-randomly; some bodies store a chain
+// accumulator back through the same address. The ChaseFrac coin is only
+// flipped when the knob is set, so legacy profiles draw the exact same
+// random sequence and generate byte-identical programs.
 func (g *gen) genMemFragment(i int) {
-	if g.r.coin(g.p.StrideFrac) {
+	if g.p.ChaseFrac > 0 && g.r.coin(g.p.ChaseFrac) {
+		// Pointer chase: fold the loaded value and the inner counter into
+		// the next address. The counter term keeps the walk from collapsing
+		// onto a short cycle of the arena's (fixed) value graph, while the
+		// value term makes each load's address depend on the previous
+		// load's data — a serial chain with no learnable stride.
+		g.op("add  r16, r15, r21")
+		g.op("slli r16, r16, %d", 64-(g.maskK-3))
+		g.op("srli r16, r16, %d", 64-(g.maskK-3))
+		g.op("slli r16, r16, 3")
+		g.op("add  r16, r19, r16")
+		g.op("ld   r15, 0(r16)")
+	} else if g.r.coin(g.p.StrideFrac) {
 		// Sequential: advance the cursor and wrap it inside the arena.
-		g.op("addi r22, r22, 8")
+		step := 8
+		if g.p.StrideBytes > 0 {
+			step = g.p.StrideBytes
+		}
+		g.op("addi r22, r22, %d", step)
 		g.op("slli r16, r22, %d", 64-g.maskK)
 		g.op("srli r16, r16, %d", 64-g.maskK)
 		g.op("add  r16, r19, r16")
@@ -309,15 +334,21 @@ func (g *gen) genReuseSink(c int) {
 // genBranchFragment emits the body's conditional branch. A random-type
 // branch (probability BranchEntropy) tests a bit of the freshly loaded
 // pseudo-random value — an unlearnable 50/50 direction. A predictable-type
-// branch tests a high bit of the inner counter, which flips once every 512
-// executed bodies — trivially learnable. Both skip a short filler
-// sequence, so taken and not-taken paths differ.
+// branch tests a bit of the inner counter, so its direction flips once
+// every BranchPeriod executed bodies (512 by default) — learnable by any
+// predictor whose history reaches back one run length, opaque to one whose
+// history is shorter. Both skip a short filler sequence, so taken and
+// not-taken paths differ.
 func (g *gen) genBranchFragment(i int) {
 	if g.r.coin(g.p.BranchEntropy) {
 		g.op("andi r17, r15, %d", 1<<g.r.intn(3))
 		g.op("bnez r17, y%d", i)
 	} else {
-		g.op("srli r17, r21, 9")
+		bit := 9
+		if g.p.BranchPeriod > 0 {
+			bit = bits.Len(uint(g.p.BranchPeriod)) - 1
+		}
+		g.op("srli r17, r21, %d", bit)
 		g.op("andi r17, r17, 1")
 		g.op("bnez r17, y%d", i)
 	}

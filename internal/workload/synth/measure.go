@@ -32,6 +32,12 @@ type Characteristics struct {
 	// TopDestShare is the hottest destination register's share of all
 	// register writes — the register-reuse concentration.
 	TopDestShare float64
+
+	// StrideRepeatFrac is the fraction of loads whose address delta (to the
+	// same PC's previous load) repeats that PC's previous delta — exactly
+	// the pattern a PC-indexed delta prefetcher learns. ~1 for a constant
+	// stride walk, ~0 for pointer chasing or random addressing.
+	StrideRepeatFrac float64
 }
 
 // Measure generates the profile's kernel, fast-forwards the emulator past
@@ -52,6 +58,13 @@ func Measure(p Profile, limit uint64) (Characteristics, error) {
 
 	var c Characteristics
 	var conds, taken, flips uint64
+	var loads, strideRepeats uint64
+	type loadHist struct {
+		addr  uint64
+		delta int64
+		seen  bool
+	}
+	lastLoad := map[uint64]loadHist{}
 	lastDir := map[uint64]bool{}
 	dests := map[isa.Reg]uint64{}
 	var writes uint64
@@ -71,6 +84,17 @@ func Measure(p Profile, limit uint64) (Characteristics, error) {
 			c.FPFrac++
 		case isa.ClassLoad:
 			c.LoadFrac++
+			loads++
+			h := lastLoad[tr.PC]
+			if h.seen {
+				d := int64(tr.Addr) - int64(h.addr)
+				if d != 0 && d == h.delta {
+					strideRepeats++
+				}
+				h.delta = d
+			}
+			h.addr, h.seen = tr.Addr, true
+			lastLoad[tr.PC] = h
 		case isa.ClassStore:
 			c.StoreFrac++
 		case isa.ClassBranch:
@@ -108,6 +132,9 @@ func Measure(p Profile, limit uint64) (Characteristics, error) {
 	if conds > 0 {
 		c.TakenRate = float64(taken) / float64(conds)
 		c.CondFlipRate = float64(flips) / float64(conds)
+	}
+	if loads > 0 {
+		c.StrideRepeatFrac = float64(strideRepeats) / float64(loads)
 	}
 	if maxAddr >= minAddr && minAddr != 0 {
 		c.DataFootprintBytes = maxAddr - minAddr + 8

@@ -1,0 +1,65 @@
+package synth
+
+// Frontend stress profiles. Each one isolates a behavior that separates
+// the pluggable frontend components: a long-history branch predictor only
+// pays off when short histories cannot express the pattern, and a delta
+// prefetcher only pays off when demand misses follow a learnable stride.
+// The explorer sweeps these alongside the legacy profiles to show *where*
+// each frontend choice earns its area.
+
+// PointerChase is a serial dependent-load walk over a large arena: each
+// load's address folds in the previous load's value, so the memory system
+// sees back-to-back misses with no learnable stride. Delta prefetching
+// should find nothing here; it is the profile's negative control.
+func PointerChase(seed uint64) Profile {
+	return Profile{
+		ILP:             2,
+		MemFootprintKB:  256,
+		ChaseFrac:       0.9,
+		CodeFootprintKB: 2,
+		Seed:            seed,
+		Passes:          2,
+	}
+}
+
+// HighEntropyBranch flips its predictable branches every 16 executed
+// bodies. The run length is far past what a G-share history register
+// resolves, so the pattern reads as near-random noise to it — while a
+// geometric-history predictor (TAGE) sees the position inside the run and
+// locks on. No true entropy is mixed in: every mispredict is a frontend
+// failure, not an unlearnable coin flip.
+func HighEntropyBranch(seed uint64) Profile {
+	return Profile{
+		ILP:             4,
+		BranchPeriod:    16,
+		MemFootprintKB:  8,
+		StrideFrac:      1,
+		CodeFootprintKB: 1,
+		Seed:            seed,
+		Passes:          2,
+	}
+}
+
+// LongStrideFP walks a cache-busting arena at a 256-byte stride with a
+// floating-point-heavy compute mix: every access opens a fresh line, so
+// demand misses follow a constant per-PC delta that a stride prefetcher
+// can run ahead of. The FP latency shadow keeps the core busy enough that
+// prefetch timeliness, not bandwidth, decides the win.
+func LongStrideFP(seed uint64) Profile {
+	return Profile{
+		ILP:             4,
+		MemFootprintKB:  512,
+		StrideFrac:      1,
+		StrideBytes:     256,
+		FPMix:           0.8,
+		CodeFootprintKB: 2,
+		Seed:            seed,
+		Passes:          2,
+	}
+}
+
+// StressProfiles returns the three frontend stress profiles at the given
+// seed, in a stable order, for sweeps and tests.
+func StressProfiles(seed uint64) []Profile {
+	return []Profile{PointerChase(seed), HighEntropyBranch(seed), LongStrideFP(seed)}
+}

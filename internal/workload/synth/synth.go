@@ -59,6 +59,23 @@ type Profile struct {
 	// Execution Cache capacity like the namesake benchmarks' large text
 	// sections do.
 	CodeFootprintKB int
+	// BranchPeriod, when nonzero, replaces the predictable branches' default
+	// direction pattern (flip every 512 bodies) with a flip every
+	// BranchPeriod executed bodies (power of two, 2..4096). Short periods
+	// look random to a short-history predictor — the run length exceeds what
+	// a G-share history register can count — while a long-geometric-history
+	// predictor (TAGE) locks onto the position inside the run.
+	BranchPeriod int
+	// ChaseFrac in [0, 1] is the fraction of memory fragments that
+	// pointer-chase: the next load address is derived from the previously
+	// loaded value, so the loads form a serial dependence chain with no
+	// learnable stride.
+	ChaseFrac float64
+	// StrideBytes, when nonzero, overrides the sequential cursor's step
+	// (power of two, 8..1024; default 8). Steps past the line size turn the
+	// sequential walk into a long-stride pattern: every access opens a new
+	// line, which a delta prefetcher can run ahead of.
+	StrideBytes int
 	// Seed selects the generator's pseudo-random structure decisions and
 	// the kernel's runtime data. Same seed, same program.
 	Seed uint64
@@ -77,6 +94,8 @@ const (
 	MaxCodeKB         = 256
 	DefaultPasses     = 4
 	MaxPasses         = 64
+	MaxBranchPeriod   = 4096 // BranchPeriod upper bound (0 = legacy 512)
+	MaxStrideBytes    = 1024 // StrideBytes upper bound (0 = default 8)
 	innerIterFloor    = 1024 // minimum bodies executed per pass
 	chainOpsPerBlock  = 12   // arithmetic ops per compute block, split across chains
 	ringIterPerBodies = 4    // passes over the whole body ring per inner loop
@@ -100,6 +119,12 @@ func (p Profile) Defaulted() Profile {
 	}
 	if p.Passes == 0 {
 		p.Passes = DefaultPasses
+	}
+	if p.BranchPeriod > 0 {
+		p.BranchPeriod = ceilPow2(p.BranchPeriod)
+	}
+	if p.StrideBytes > 0 {
+		p.StrideBytes = ceilPow2(p.StrideBytes)
 	}
 	return p
 }
@@ -147,6 +172,19 @@ func (p Profile) Validate() error {
 	if err := frac("FPMix", d.FPMix); err != nil {
 		return err
 	}
+	if err := frac("ChaseFrac", d.ChaseFrac); err != nil {
+		return err
+	}
+	if d.BranchPeriod != 0 {
+		if err := check("BranchPeriod", d.BranchPeriod, 2, MaxBranchPeriod); err != nil {
+			return err
+		}
+	}
+	if d.StrideBytes != 0 {
+		if err := check("StrideBytes", d.StrideBytes, 8, MaxStrideBytes); err != nil {
+			return err
+		}
+	}
 	return frac("RegReuse", d.RegReuse)
 }
 
@@ -157,9 +195,21 @@ func (p Profile) Validate() error {
 func (p Profile) Name() string {
 	d := p.Defaulted()
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	return fmt.Sprintf("synth/i%d-e%s-m%d-s%s-f%s-r%s-c%d-p%d-x%d",
+	name := fmt.Sprintf("synth/i%d-e%s-m%d-s%s-f%s-r%s-c%d-p%d-x%d",
 		d.ILP, g(d.BranchEntropy), d.MemFootprintKB, g(d.StrideFrac),
 		g(d.FPMix), g(d.RegReuse), d.CodeFootprintKB, d.Passes, d.Seed)
+	// The frontend-stress knobs appear only when set, so every profile that
+	// predates them keeps its name (and its cache identity).
+	if d.BranchPeriod != 0 {
+		name += fmt.Sprintf("-bp%d", d.BranchPeriod)
+	}
+	if d.ChaseFrac != 0 {
+		name += "-h" + g(d.ChaseFrac)
+	}
+	if d.StrideBytes != 0 {
+		name += fmt.Sprintf("-sb%d", d.StrideBytes)
+	}
+	return name
 }
 
 // String describes the profile for human-facing tables.
