@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"flywheel/internal/sim"
 )
 
 // TestReportJSONShape pins the emitted schema: downstream tooling greps
@@ -15,6 +17,7 @@ func TestReportJSONShape(t *testing.T) {
 		Date:            "2026-01-01T00:00:00Z",
 		Cores:           map[string]Metrics{"baseline": {NsPerInst: 1, MIPS: 1000}},
 		Suite:           SuiteMetrics{Jobs: 3},
+		Sampled:         map[string]SampledMetrics{"flywheel": {Speedup: 5}},
 		InstructionsPer: 42,
 	}
 	enc, err := json.Marshal(rep)
@@ -53,6 +56,15 @@ func TestReportJSONShape(t *testing.T) {
 	} {
 		if _, ok := tiered[key]; !ok {
 			t.Errorf("tiered metrics missing key %q", key)
+		}
+	}
+	fw := got["sampled"].(map[string]any)["flywheel"].(map[string]any)
+	for _, key := range []string{
+		"ns_per_inst_exact", "ns_per_inst_sampled", "speedup", "windows",
+		"detailed_frac", "ipc_err_pct", "energy_err_pct", "ipc_rel_ci95_pct",
+	} {
+		if _, ok := fw[key]; !ok {
+			t.Errorf("sampled metrics missing key %q", key)
 		}
 	}
 }
@@ -161,5 +173,51 @@ func TestBenchSuiteWarmStore(t *testing.T) {
 	}
 	if warm.SimRuns != 0 || warm.DiskHits != cold.SimRuns {
 		t.Fatalf("warm pass: %+v, want %d disk hits and 0 sim runs", warm, cold.SimRuns)
+	}
+}
+
+// TestBenchSampledTiny drives the sampled measurement end to end with the
+// CI-smoke schedule: the sampled run must be cheaper per instruction than
+// exact, skip most of the stream, and land near the exact IPC.
+func TestBenchSampledTiny(t *testing.T) {
+	m, err := benchSampled(sim.ArchFlywheel, 60_000,
+		sim.Sampling{Period: 12_000, WindowInsts: 1_000, WarmupInsts: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Windows == 0 || m.NsPerInstExact <= 0 || m.NsPerInstSampled <= 0 {
+		t.Fatalf("implausible sampled metrics: %+v", m)
+	}
+	if m.DetailedFrac <= 0 || m.DetailedFrac >= 1 {
+		t.Fatalf("detailed fraction %.3f not in (0,1): %+v", m.DetailedFrac, m)
+	}
+	if m.Speedup <= 1 {
+		t.Fatalf("sampled run not faster than exact: %+v", m)
+	}
+	// A short smoke stream tolerates a loose error bound; the scale test
+	// in internal/sim pins the production accuracy target.
+	if m.IPCErrPct < -25 || m.IPCErrPct > 25 {
+		t.Fatalf("sampled IPC off by %.1f%%: %+v", m.IPCErrPct, m)
+	}
+}
+
+// TestCompareGatesOnSampledRegression: the -compare gate watches the
+// sampled per-instruction cost like any other ns/inst metric.
+func TestCompareGatesOnSampledRegression(t *testing.T) {
+	oldRep := Report{
+		Date:    "old",
+		Emu:     Metrics{NsPerInst: 10},
+		Sampled: map[string]SampledMetrics{"flywheel": {NsPerInstSampled: 20}},
+	}
+	worse := Report{
+		Emu:     Metrics{NsPerInst: 10},
+		Sampled: map[string]SampledMetrics{"flywheel": {NsPerInstSampled: 40}},
+	}
+	var buf strings.Builder
+	if !compare(&buf, oldRep, worse, 10) {
+		t.Fatalf("sampled ns/inst regression not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "flywheel sampled ns/inst") {
+		t.Fatalf("sampled row missing from compare output:\n%s", buf.String())
 	}
 }

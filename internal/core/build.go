@@ -81,6 +81,11 @@ func (c *Core) dispatch(now int64) {
 		if c.builder == nil {
 			// First instruction after a boundary starts a fresh trace.
 			c.builder = c.ec.NewBuilder(d.Trace.PC, d.Seq())
+			if d.Trace.PC == c.divergedPC {
+				c.divergedPC = noDivergedPC
+			} else if c.stats.Retired < c.scratchUntil && c.ec.Resident(d.Trace.PC) {
+				c.builder.Scratch()
+			}
 		}
 	}
 }
@@ -200,7 +205,7 @@ func (c *Core) checkSeal(now int64) {
 	c.gate(c.nextBuildSeq, now+int64(c.cfg.CheckpointCycles)*c.bePeriod())
 	if c.cfg.ECEnabled {
 		if r, ok := c.ec.Lookup(c.nextBuildPC); ok {
-			c.enterReplay(now, r, c.nextBuildSeq)
+			c.enterReplay(now, r, c.nextBuildSeq, c.nextBuildPC)
 			return
 		}
 	}
@@ -224,7 +229,7 @@ func (c *Core) onMispredictRetire(now int64, d *pipe.DynInst) {
 	c.gate(resumeSeq, now+int64(c.cfg.CheckpointCycles)*c.bePeriod())
 	if c.cfg.ECEnabled {
 		if r, ok := c.ec.Lookup(resumePC); ok {
-			c.enterReplay(now, r, resumeSeq)
+			c.enterReplay(now, r, resumeSeq, resumePC)
 			return
 		}
 	}
@@ -243,7 +248,7 @@ func (c *Core) gate(seq uint64, t int64) {
 }
 
 // enterReplay switches to trace-execution mode with the given trace.
-func (c *Core) enterReplay(now int64, r Reader, startSeq uint64) {
+func (c *Core) enterReplay(now int64, r Reader, startSeq uint64, startPC uint64) {
 	// Squash the front-end: return any fetched-but-undispatched work to
 	// the oracle window so replay re-delivers it from the EC.
 	// Front-queue entries are pre-dispatch (not yet renamed), so returning
@@ -262,11 +267,9 @@ func (c *Core) enterReplay(now int64, r Reader, startSeq uint64) {
 	}
 	c.fetcher.ForceUnblock()
 	c.switchMode(now, ModeReplay)
-	c.cur = &traceRun{
-		reader:       r,
-		startSeq:     startSeq,
-		blockedUntil: c.gateUntil,
-	}
+	c.releaseRun(c.cur)
+	c.releaseRun(c.next)
+	c.cur = c.newRun(r, startSeq, startPC, c.gateUntil)
 	c.next = nil
 	c.draining = false
 }

@@ -118,6 +118,11 @@ type EC struct {
 	clock   uint64
 	nextTID uint64
 	Stats   ECStats
+	// spare recycles the last finished Builder (and its pending buffer):
+	// the core runs at most one builder at a time, and trace creation is
+	// frequent enough that a fresh allocation per trace dominates the
+	// simulator's heap churn.
+	spare *Builder
 }
 
 // NewEC builds an empty Execution Cache.
@@ -167,6 +172,23 @@ func (e *EC) Lookup(pc uint64) (Reader, bool) {
 	return Reader{}, false
 }
 
+// Resident reports whether a live trace starts at pc, without touching LRU
+// state, statistics, or the lazy stale-tag cleanup. The sampled-execution
+// scratch policy uses it: a post-resume cold build is discarded only when
+// it would replace a resident trace — holes in the cache are still filled,
+// so later windows over the same code replay instead of rebuilding.
+func (e *EC) Resident(pc uint64) bool {
+	for i := range e.tags {
+		t := &e.tags[i]
+		if t.pc != pc {
+			continue
+		}
+		b := &e.sets[t.set][t.way]
+		return b.valid && b.traceID == t.traceID && b.seq == 0
+	}
+	return false
+}
+
 // registerTag adds a completed trace to the Tag Array, evicting the LRU
 // entry when full and replacing any older trace with the same start pc.
 func (e *EC) registerTag(pc uint64, traceID uint64, set, way int) {
@@ -204,7 +226,19 @@ func (e *EC) writeBlock(set int, traceID uint64, seq int, slots []Slot, last boo
 			victim = i
 		}
 	}
-	stored := make([]Slot, len(slots))
+	// Reuse the victim's backing array: replay copies block slots into its
+	// fill buffer synchronously inside ReadBlock's caller, so no reader
+	// holds this storage across a write.
+	stored := ways[victim].slots
+	if cap(stored) >= len(slots) {
+		stored = stored[:len(slots)]
+	} else {
+		bcap := e.cfg.BlockSlots
+		if len(slots) > bcap {
+			bcap = len(slots)
+		}
+		stored = make([]Slot, len(slots), bcap)
+	}
 	copy(stored, slots)
 	ways[victim] = ecBlock{
 		valid: true, traceID: traceID, seq: seq, last: last,
@@ -220,7 +254,10 @@ func (e *EC) writeBlock(set int, traceID uint64, seq int, slots []Slot, last boo
 func (e *EC) InvalidateAll() {
 	for _, set := range e.sets {
 		for i := range set {
-			set[i] = ecBlock{}
+			// Keep the slot storage for the rebuild that follows: register
+			// redistribution wipes the cache many times per run, and
+			// reallocating every block each time dominated the heap profile.
+			set[i] = ecBlock{slots: set[i].slots[:0]}
 		}
 	}
 	e.tags = e.tags[:0]
@@ -294,6 +331,13 @@ type Builder struct {
 	pending  []Slot
 	units    int
 	full     bool
+	// scratch builders go through all the motions (block accounting,
+	// capacity sealing) but never write the data array or register a tag.
+	// Sampled execution uses them right after a resume: a trace assembled
+	// from a still-refilling pipeline has narrow issue units, and letting it
+	// replace the warm-built trace at the same address would permanently
+	// degrade every later replay of that path.
+	scratch bool
 }
 
 // NewBuilder starts recording a trace for the program path beginning at
@@ -301,10 +345,16 @@ type Builder struct {
 func (e *EC) NewBuilder(startPC uint64, startSeq uint64) *Builder {
 	tid := e.nextTID
 	e.nextTID++
-	return &Builder{
-		ec: e, traceID: tid, startPC: startPC, startSeq: startSeq,
-		set: e.startSet(startPC), firstWay: -1,
+	b := e.spare
+	e.spare = nil
+	if b == nil {
+		b = &Builder{pending: make([]Slot, 0, 2*e.cfg.BlockSlots)}
 	}
+	*b = Builder{
+		ec: e, traceID: tid, startPC: startPC, startSeq: startSeq,
+		set: e.startSet(startPC), firstWay: -1, pending: b.pending[:0],
+	}
+	return b
 }
 
 // StartPC returns the trace's entry address.
@@ -337,14 +387,25 @@ func (b *Builder) AddUnit(slots []Slot) {
 	b.units++
 	for len(b.pending) >= b.ec.cfg.BlockSlots {
 		b.flushBlock(b.pending[:b.ec.cfg.BlockSlots], false, 0)
-		b.pending = b.pending[b.ec.cfg.BlockSlots:]
+		// Copy the remainder down instead of re-slicing forward: the buffer
+		// stays small, so its backing array survives the builder's whole
+		// life and the next builder reuses it allocation-free.
+		n := copy(b.pending, b.pending[b.ec.cfg.BlockSlots:])
+		b.pending = b.pending[:n]
 		if b.seq >= b.ec.cfg.MaxTraceBlocks-1 {
 			b.full = true
 		}
 	}
 }
 
+// Scratch marks the builder as write-suppressed (see the field comment).
+func (b *Builder) Scratch() { b.scratch = true }
+
 func (b *Builder) flushBlock(slots []Slot, last bool, successor uint64) {
+	if b.scratch {
+		b.seq++
+		return
+	}
 	set := (b.set + b.seq) % len(b.ec.sets)
 	way := b.ec.writeBlock(set, b.traceID, b.seq, slots, last, successor)
 	if b.seq == 0 {
@@ -360,7 +421,7 @@ func (b *Builder) flushBlock(slots []Slot, last bool, successor uint64) {
 func (b *Builder) Finish(successor uint64) bool {
 	if len(b.pending) > 0 {
 		b.flushBlock(b.pending, true, successor)
-		b.pending = nil
+		b.pending = b.pending[:0]
 	} else if b.seq > 0 {
 		// Mark the final written block as last.
 		set := (b.set + b.seq - 1) % len(b.ec.sets)
@@ -373,6 +434,10 @@ func (b *Builder) Finish(successor uint64) bool {
 			}
 		}
 	}
+	// Recycle the builder: every call site drops its pointer right after
+	// Finish, so the next NewBuilder can take it over. Builders abandoned
+	// without Finish are simply collected.
+	b.ec.spare = b
 	if b.seq == 0 || b.firstWay < 0 {
 		return false
 	}

@@ -55,6 +55,9 @@ type groupNeed struct {
 type traceRun struct {
 	reader   Reader
 	startSeq uint64
+	// startPC is the address the trace was looked up at; a divergence
+	// records it so the eventual rebuild at that address is recognized.
+	startPC uint64
 	// buffered holds slots delivered by the fill buffer, in issue order.
 	buffered []Slot
 	// unit caches the head unit's pairing and structural sums between
@@ -68,6 +71,8 @@ type traceRun struct {
 	broken      bool
 	// blockedUntil gates the first issue after a trace-change checkpoint.
 	blockedUntil int64
+	// unitsIssued counts issue units this run delivered before it ended.
+	unitsIssued int
 	// maxOff tracks the largest sequence offset seen (trace length guess
 	// for next-trace prefetch).
 	maxOff     uint32
@@ -79,6 +84,31 @@ type traceRun struct {
 
 // done reports that no more blocks remain to read.
 func (r *traceRun) done() bool { return r.endSeen || r.broken }
+
+// newRun takes a traceRun from the core's pool (or allocates one) and
+// resets every field, keeping the fill and unit-cache buffers: at most two
+// runs are live at a time but thousands start per simulation, so pooling
+// them keeps replay allocation-free in steady state.
+func (c *Core) newRun(r Reader, startSeq, startPC uint64, blockedUntil int64) *traceRun {
+	run := &traceRun{}
+	if n := len(c.runPool); n > 0 {
+		run = c.runPool[n-1]
+		c.runPool = c.runPool[:n-1]
+		buffered, recs, dests, fus := run.buffered[:0], run.unit.recs[:0], run.unit.dests[:0], run.unit.fus[:0]
+		*run = traceRun{buffered: buffered}
+		run.unit.recs, run.unit.dests, run.unit.fus = recs, dests, fus
+	}
+	run.reader, run.startSeq, run.startPC, run.blockedUntil = r, startSeq, startPC, blockedUntil
+	return run
+}
+
+// releaseRun returns a dropped run to the pool. Callers must drop their
+// pointer: the next newRun reuses the struct in place.
+func (c *Core) releaseRun(run *traceRun) {
+	if run != nil && len(c.runPool) < cap(c.runPool) {
+		c.runPool = append(c.runPool, run)
+	}
+}
 
 // fillCapSlots is how many slots the two-block fill buffer holds.
 func (c *Core) fillCapSlots() int { return 2 * c.cfg.EC.BlockSlots }
@@ -162,7 +192,7 @@ func (c *Core) prefetchNext(now int64) {
 	}
 	guess := run.startSeq + uint64(run.maxOff) + 1
 	if r, hit := c.ec.Lookup(run.successorPC); hit {
-		c.next = &traceRun{reader: r, startSeq: guess}
+		c.next = c.newRun(r, guess, run.successorPC, 0)
 	}
 }
 
@@ -195,12 +225,33 @@ func (c *Core) formUnit(now, p int64) bool {
 	for _, s := range unit {
 		seq := run.startSeq + uint64(s.SeqOffset)
 		rec, ok := c.window.At(seq)
-		if !ok || c.window.Consumed(seq) || rec.PC != s.PC {
+		overlap := ok && c.window.Consumed(seq)
+		if !ok || overlap || rec.PC != s.PC {
 			if debugDivergence != nil {
 				debugDivergence(run, s, rec, ok, c.window.Consumed(seq))
 			}
 			u.recs = recs
 			c.stats.Divergences++
+			if ok || !c.window.Drained() {
+				// A genuine path mismatch: the stored trace at this start
+				// address is stale, and its rebuild should replace it even
+				// inside a sampled warm-up's scratch span. (A failed read on
+				// a drained window is just the stream ending mid-trace.)
+				c.divergedPC = run.startPC
+				// Storm streak: consecutive low-progress replays aborting on
+				// an already-consumed record. Path-mismatch divergences are
+				// normal replay dynamics and reset the streak; so does any
+				// replay that got real work done. Sampled runs only — the
+				// flag stays clear in exact mode, whose replay dynamics are
+				// the reference sampled windows are compared against.
+				if c.resumed {
+					if overlap && run.unitsIssued <= stormUnitCeil {
+						c.failStreak++
+					} else {
+						c.failStreak = 0
+					}
+				}
+			}
 			c.startDrain(now + int64(c.cfg.DivergenceDetectCycles)*p)
 			return false
 		}
@@ -364,8 +415,11 @@ func (c *Core) issueUnit(now, p int64) {
 	}
 	run.buffered = append(run.buffered[:0], run.buffered[u.end:]...)
 	u.valid = false
+	run.unitsIssued++
 	c.stats.ReplayUnits++
-	// Forward progress: clear the failed-resume latch.
+	// Forward progress: clear the failed-resume latch. The low-progress
+	// divergence streak is per-run, not per-unit: the storm pattern being
+	// broken issues a unit or two before every divergence.
 	c.lastFailedResume = noFailedResume
 }
 
@@ -375,6 +429,8 @@ func (c *Core) issueUnit(now, p int64) {
 func (c *Core) startDrain(readyAt int64) {
 	c.draining = true
 	c.drainReadyAt = readyAt
+	c.releaseRun(c.cur)
+	c.releaseRun(c.next)
 	c.cur = nil
 	c.next = nil
 }
@@ -406,9 +462,11 @@ func (c *Core) maybeFinishTrace(now, p int64) {
 		// the new trace's pairing will diverge immediately.
 		c.cur = c.next
 		c.next = nil
+		c.releaseRun(run)
 		c.cur.blockedUntil = now + int64(c.cfg.CheckpointCycles)*p
 		return
 	}
+	c.releaseRun(c.next)
 	c.next = nil
 	c.afterTraceExit(now, false)
 }
@@ -420,9 +478,13 @@ func (c *Core) maybeFinishTrace(now, p int64) {
 // never pair again; retrying the same resume point would livelock, so a
 // repeat failure forces trace creation.
 func (c *Core) afterTraceExit(now int64, diverged bool) {
+	// Whatever runs are still attached are finished here: every path below
+	// replaces them (with a new run, or with build mode).
+	c.releaseRun(c.cur)
+	c.releaseRun(c.next)
+	c.cur, c.next = nil, nil
 	resume, ok := c.window.NextUnconsumed()
 	if !ok {
-		c.cur, c.next = nil, nil
 		c.exitToBuild(now)
 		return
 	}
@@ -434,17 +496,27 @@ func (c *Core) afterTraceExit(now int64, diverged bool) {
 		}
 		c.lastFailedResume = resume.Seq
 	}
+	if retryable && c.failStreak >= replayFailCap {
+		// Replay keeps diverging with almost no progress: it is cycling
+		// over a half-executed region, each entry issuing a unit or two
+		// before hitting an already-consumed record, and the out-of-order
+		// units it does issue scatter fresh holes ahead (a self-sustaining
+		// divergence storm). The failed-resume latch cannot see the cycle —
+		// every attempt makes token progress at a different resume point —
+		// so the streak forces one trace-creation interlude, which heals
+		// the region by walking the window's unconsumed records in order.
+		c.failStreak = 0
+		retryable = false
+	}
 	if retryable {
 		if r, hit := c.ec.Lookup(resume.PC); hit {
-			c.cur = &traceRun{reader: r, startSeq: resume.Seq, blockedUntil: gateAt}
-			c.next = nil
+			c.cur = c.newRun(r, resume.Seq, resume.PC, gateAt)
 			if c.mode != ModeReplay {
 				c.switchMode(now, ModeReplay)
 			}
 			return
 		}
 	}
-	c.cur, c.next = nil, nil
 	c.gate(resume.Seq, gateAt)
 	c.exitToBuild(now)
 }

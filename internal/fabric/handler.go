@@ -59,6 +59,8 @@ type ClusterStats struct {
 	// cycle-accurately, cluster-wide.
 	AnalyticCells  uint64 `json:"analytic_cells"`
 	ConfirmedCells uint64 `json:"confirmed_cells"`
+	// SampledCells sums the workers' sampled-execution cell counters.
+	SampledCells uint64 `json:"sampled_cells"`
 	// Frontend sums the workers' frontend observable totals (branch and
 	// prefetch activity over delivered sweep results), cluster-wide.
 	Frontend      labd.FrontendStats `json:"frontend"`
@@ -174,6 +176,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			reply.Cache.Entries += st.Cache.Entries
 			reply.AnalyticCells += st.AnalyticCells
 			reply.ConfirmedCells += st.ConfirmedCells
+			reply.SampledCells += st.SampledCells
 			reply.Frontend.Add(st.Frontend)
 		}
 		reply.Workers = append(reply.Workers, ws)

@@ -17,10 +17,16 @@
 //	                   explore CLI flags (ilp, entropy, fp, mem, stride,
 //	                   rr, code, period, chase, stridebytes, seed, passes,
 //	                   arch, predictor, prefetcher, fe, be, node, n,
-//	                   tier, margin, audit, auditseed). tier=analytic
+//	                   tier, margin, audit, auditseed, sample_period,
+//	                   window, sample_warmup, sample_seed). tier=analytic
 //	                   screens the grid with a calibrated closed-form
 //	                   model and simulates only cells near the predicted
-//	                   frontier; tier=auto picks by grid size. The
+//	                   frontier; tier=auto picks by grid size; tier=sampled
+//	                   runs every cell with sampled execution (periodic
+//	                   detailed windows over fast-forwarded warming, with
+//	                   confidence intervals). sample_period with
+//	                   tier=analytic/auto inserts the sampled middle tier
+//	                   and escalates only CI-ambiguous cells to exact. The
 //	                   calibration runs flow through the shared cache, so
 //	                   they persist in the store like any sweep job.
 //	GET  /v1/stats     cache hit/miss/in-flight counters, store size,
@@ -54,6 +60,7 @@ import (
 	"flywheel/internal/explore"
 	"flywheel/internal/lab"
 	"flywheel/internal/lab/store"
+	"flywheel/internal/sample"
 	"flywheel/internal/sim"
 	"flywheel/internal/trace"
 )
@@ -113,6 +120,9 @@ type StatsReply struct {
 	// is the service's observed screening leverage.
 	AnalyticCells  uint64 `json:"analytic_cells"`
 	ConfirmedCells uint64 `json:"confirmed_cells"`
+	// SampledCells counts grid cells evaluated with sampled execution
+	// (tier=sampled grids and the three-tier middle stage alike).
+	SampledCells uint64 `json:"sampled_cells"`
 	// Scrubs counts /v1/scrub passes served; QuarantinedFiles totals the
 	// corrupt files those passes moved aside.
 	Scrubs           uint64 `json:"scrubs"`
@@ -178,6 +188,11 @@ type FrontierPoint struct {
 	L2HitRate   float64 `json:"l2_hit"`
 	PfAccuracy  float64 `json:"pf_acc"`
 	PfCoverage  float64 `json:"pf_cov"`
+	// Sampled marks points whose metrics are sampled-execution estimates;
+	// the CI fields carry their 95% relative confidence intervals.
+	Sampled       bool    `json:"sampled,omitempty"`
+	IPCRelCI95    float64 `json:"ipc_rel_ci95,omitempty"`
+	EnergyRelCI95 float64 `json:"energy_rel_ci95,omitempty"`
 }
 
 // FrontierReply is the /v1/frontier body. Tiered queries (tier=analytic,
@@ -199,6 +214,14 @@ type FrontierReply struct {
 	// PredictionErr compares the model against the simulator on the
 	// confirmed cells — measured, not in-sample, error.
 	PredictionErr *analytic.Summary `json:"prediction_err,omitempty"`
+
+	// SampledCells / EscalatedCells describe the sampled middle tier of a
+	// three-tier query: cells evaluated with sampled execution, and the
+	// subset whose confidence interval forced an exact re-run. SampledErr
+	// compares the sampled estimates against exact on the escalated cells.
+	SampledCells   int               `json:"sampled_cells,omitempty"`
+	EscalatedCells int               `json:"escalated_cells,omitempty"`
+	SampledErr     *analytic.Summary `json:"sampled_err,omitempty"`
 }
 
 // Server fronts one shared cache. Every request — sweep or frontier, any
@@ -218,6 +241,7 @@ type Server struct {
 	canceledJobs   atomic.Uint64
 	analyticCells  atomic.Uint64
 	confirmedCells atomic.Uint64
+	sampledCells   atomic.Uint64
 	scrubs         atomic.Uint64
 	quarantined    atomic.Uint64
 
@@ -464,12 +488,39 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 
 	tier := q.Get("tier")
 	switch tier {
-	case "", "exact", "analytic", "auto":
+	case "", "exact", "sampled", "analytic", "auto":
 	default:
-		http.Error(w, fmt.Sprintf("labd: unknown tier %q (want exact, analytic or auto)", tier), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("labd: unknown tier %q (want exact, sampled, analytic or auto)", tier), http.StatusBadRequest)
 		return
 	}
-	topt := explore.TieredOptions{Audit: explore.DefaultAudit, AuditSeed: 1}
+	var sampling sim.Sampling
+	for _, f := range []struct {
+		name string
+		dst  *uint64
+	}{
+		{"sample_period", &sampling.Period},
+		{"window", &sampling.WindowInsts},
+		{"sample_warmup", &sampling.WarmupInsts},
+		{"sample_seed", &sampling.Seed},
+	} {
+		if v := q.Get(f.name); v != "" {
+			u, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "labd: bad "+f.name+": "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			*f.dst = u
+		}
+	}
+	if tier == "sampled" && sampling.Period == 0 {
+		sampling.Period = sample.DefaultPeriod
+	}
+	sampling = sampling.Normalize()
+	if err := sampling.Validate(); err != nil {
+		http.Error(w, "labd: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	topt := explore.TieredOptions{Audit: explore.DefaultAudit, AuditSeed: 1, Sampling: sampling}
 	if v := q.Get("margin"); v != "" {
 		m, err := strconv.ParseFloat(v, 64)
 		if err != nil {
@@ -530,6 +581,7 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 		}
 		s.analyticCells.Add(uint64(len(rep.Predicted) - len(rep.Confirmed)))
 		s.confirmedCells.Add(uint64(len(rep.Confirmed)))
+		s.sampledCells.Add(uint64(rep.SampledCells))
 		reply := FrontierReply{
 			GridPoints:     len(rep.Predicted),
 			Tier:           "analytic",
@@ -538,6 +590,29 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 			ConfirmedCells: len(rep.Confirmed),
 			Margin:         rep.Margin,
 			PredictionErr:  &rep.Err,
+		}
+		if rep.SampledCells > 0 {
+			reply.SampledCells = rep.SampledCells
+			reply.EscalatedCells = rep.EscalatedCells
+			reply.SampledErr = &rep.SampledErr
+		}
+		for _, p := range rep.Frontier() {
+			reply.Frontier = append(reply.Frontier, frontierPoint(p))
+		}
+		s.writeJSON(w, r, reply)
+		return
+	}
+
+	if tier == "sampled" {
+		rep, err := explore.ExploreSampled(space, sampling, opt)
+		if err != nil {
+			http.Error(w, "labd: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.sampledCells.Add(uint64(len(rep.Points)))
+		reply := FrontierReply{
+			GridPoints: len(rep.Points), Tier: "sampled",
+			Frontier: []FrontierPoint{}, SampledCells: len(rep.Points),
 		}
 		for _, p := range rep.Frontier() {
 			reply.Frontier = append(reply.Frontier, frontierPoint(p))
@@ -560,7 +635,7 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 
 // frontierPoint shapes one explore point for the wire.
 func frontierPoint(p explore.Point) FrontierPoint {
-	return FrontierPoint{
+	fp := FrontierPoint{
 		Profile:     p.Profile.String(),
 		Arch:        p.Arch.String(),
 		Node:        float64(p.Node),
@@ -578,6 +653,12 @@ func frontierPoint(p explore.Point) FrontierPoint {
 		PfAccuracy:  p.Result.PrefetchAccuracy,
 		PfCoverage:  p.Result.PrefetchCoverage,
 	}
+	if st := p.Result.Sampled; st != nil {
+		fp.Sampled = true
+		fp.IPCRelCI95 = st.IPCRelCI95
+		fp.EnergyRelCI95 = st.EnergyRelCI95
+	}
+	return fp
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -591,6 +672,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CanceledJobs:     s.canceledJobs.Load(),
 		AnalyticCells:    s.analyticCells.Load(),
 		ConfirmedCells:   s.confirmedCells.Load(),
+		SampledCells:     s.sampledCells.Load(),
 		Scrubs:           s.scrubs.Load(),
 		QuarantinedFiles: s.quarantined.Load(),
 		Frontend: FrontendStats{

@@ -99,6 +99,12 @@ func (f *Fetcher) BlockedOn() *DynInst { return f.blockedOn }
 // Done reports whether the instruction stream is exhausted.
 func (f *Fetcher) Done() bool { return f.done && f.pending == nil }
 
+// Reopen clears the end-of-stream latch so fetch resumes pulling from the
+// source. Sampled execution uses it between detailed windows: the source is
+// a budget gate that reads empty at a window's end and is refilled before
+// the next one.
+func (f *Fetcher) Reopen() { f.done = false }
+
 // Unblock resumes fetch after the mispredicted instruction d resolved.
 func (f *Fetcher) Unblock(d *DynInst) {
 	if f.blockedOn == d {
@@ -107,6 +113,9 @@ func (f *Fetcher) Unblock(d *DynInst) {
 }
 
 // next returns the next dynamic instruction, honouring the lookahead slot.
+// The end-of-stream latch clears itself when the source delivers again: a
+// front-end squash can hand records back to the oracle window after the
+// stream read empty, and those must still reach fetch.
 func (f *Fetcher) next() *DynInst {
 	if f.pending != nil {
 		d := f.pending
@@ -124,6 +133,7 @@ func (f *Fetcher) next() *DynInst {
 		}
 		tr := f.buf[f.bufPos]
 		f.bufPos++
+		f.done = false
 		return f.arena.Alloc(tr)
 	}
 	tr, ok := f.stream.Next()
@@ -131,6 +141,7 @@ func (f *Fetcher) next() *DynInst {
 		f.done = true
 		return nil
 	}
+	f.done = false
 	return f.arena.Alloc(tr)
 }
 
@@ -140,7 +151,7 @@ func (f *Fetcher) next() *DynInst {
 // blocked or the stream ended. The returned slice is reused by the next
 // FetchGroup call; callers must consume it before fetching again.
 func (f *Fetcher) FetchGroup(now, periodPS int64) ([]*DynInst, int) {
-	if f.blockedOn != nil || f.Done() {
+	if f.blockedOn != nil {
 		return nil, 0
 	}
 	group := f.group[:0]

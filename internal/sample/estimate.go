@@ -1,0 +1,94 @@
+package sample
+
+import "math"
+
+// meanVar is Welford's online mean/variance accumulator.
+type meanVar struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (v *meanVar) observe(x float64) {
+	v.n++
+	d := x - v.mean
+	v.mean += d / float64(v.n)
+	v.m2 += d * (x - v.mean)
+}
+
+// stderr is the standard error of the mean; zero until two observations
+// exist.
+func (v *meanVar) stderr() float64 {
+	if v.n < 2 {
+		return 0
+	}
+	return math.Sqrt(v.m2 / float64(v.n-1) / float64(v.n))
+}
+
+// Obs is one window's measured deltas.
+type Obs struct {
+	Insts    uint64
+	Cycles   uint64
+	TimePS   int64
+	EnergyPJ float64
+}
+
+// Accumulator aggregates per-window observations into per-instruction
+// rate estimates. Rates are accumulated per instruction (CPI rather than
+// IPC) because the sampling unit is a fixed instruction quantum: the
+// per-window per-instruction rates are i.i.d. draws whose mean estimates
+// the whole-program rate, and the usual s/sqrt(n) standard error applies
+// across windows.
+type Accumulator struct {
+	windows int
+	insts   uint64
+	cpi     meanVar // cycles per instruction
+	tpi     meanVar // picoseconds per instruction
+	epi     meanVar // picojoules per instruction
+}
+
+// Observe folds in one window. Empty windows are ignored.
+func (a *Accumulator) Observe(o Obs) {
+	if o.Insts == 0 {
+		return
+	}
+	a.windows++
+	a.insts += o.Insts
+	n := float64(o.Insts)
+	a.cpi.observe(float64(o.Cycles) / n)
+	a.tpi.observe(float64(o.TimePS) / n)
+	a.epi.observe(o.EnergyPJ / n)
+}
+
+// Windows returns the number of observed (non-empty) windows.
+func (a *Accumulator) Windows() int { return a.windows }
+
+// Estimate is the aggregated point estimate with per-metric standard
+// errors.
+type Estimate struct {
+	Windows       int
+	MeasuredInsts uint64
+
+	CPI, TPI, EPI          float64 // per-instruction means
+	CPIErr, TPIErr, EPIErr float64 // standard errors of the means
+}
+
+// Estimate returns the current aggregate.
+func (a *Accumulator) Estimate() Estimate {
+	return Estimate{
+		Windows:       a.windows,
+		MeasuredInsts: a.insts,
+		CPI:           a.cpi.mean, CPIErr: a.cpi.stderr(),
+		TPI: a.tpi.mean, TPIErr: a.tpi.stderr(),
+		EPI: a.epi.mean, EPIErr: a.epi.stderr(),
+	}
+}
+
+// RelCI95 converts a mean and its standard error into a relative 95%
+// confidence half-interval (1.96 sigma over the mean).
+func RelCI95(mean, stderr float64) float64 {
+	if mean == 0 {
+		return 0
+	}
+	return math.Abs(1.96 * stderr / mean)
+}

@@ -1,0 +1,130 @@
+package sample
+
+import (
+	"flywheel/internal/emu"
+	"flywheel/internal/pipe"
+)
+
+// Gate meters a shared instruction source into a core during sampled
+// execution. Between windows the gate is closed: the core reads
+// end-of-stream and drains, exactly as if the program had ended. Opening
+// the gate with a budget admits the next window's records. One gate (and
+// one core behind it) persists for the whole run, so microarchitectural
+// state — caches, predictor, Execution Cache, rename pools — carries
+// across windows instead of restarting cold.
+type Gate struct {
+	src       pipe.InstSource
+	filler    pipe.Filler
+	budget    uint64
+	delivered uint64
+}
+
+// NewGate wraps src. The fast batched Fill path is used when src supports
+// it.
+func NewGate(src pipe.InstSource) *Gate {
+	g := &Gate{src: src}
+	if f, ok := src.(pipe.Filler); ok {
+		g.filler = f
+	}
+	return g
+}
+
+// Open adds n records to the deliverable budget.
+func (g *Gate) Open(n uint64) { g.budget += n }
+
+// TakeDelivered returns the number of records delivered since the last
+// call and resets the count; the sampled runner uses it to track the
+// stream position (which can fall short of the budget when the program
+// ends inside a window).
+func (g *Gate) TakeDelivered() uint64 {
+	d := g.delivered
+	g.delivered = 0
+	return d
+}
+
+// Next implements pipe.InstSource.
+func (g *Gate) Next() (emu.Trace, bool) {
+	if g.budget == 0 {
+		return emu.Trace{}, false
+	}
+	tr, ok := g.src.Next()
+	if ok {
+		g.budget--
+		g.delivered++
+	}
+	return tr, ok
+}
+
+// Fill implements pipe.Filler, truncating the batch to the open budget.
+func (g *Gate) Fill(buf []emu.Trace) int {
+	if g.budget == 0 {
+		return 0
+	}
+	if uint64(len(buf)) > g.budget {
+		buf = buf[:g.budget]
+	}
+	var n int
+	if g.filler != nil {
+		n = g.filler.Fill(buf)
+	} else {
+		for n < len(buf) {
+			tr, ok := g.src.Next()
+			if !ok {
+				break
+			}
+			buf[n] = tr
+			n++
+		}
+	}
+	g.budget -= uint64(n)
+	g.delivered += uint64(n)
+	return n
+}
+
+// Skipper is the optional fast-skip capability of an instruction source
+// (the trace cache's Reader implements it via chunk-indexed seek).
+type Skipper interface {
+	Skip(n uint64) uint64
+}
+
+// FastForward consumes up to n records from src, feeding each into the
+// warmer (functional warming: state updates, no timing), and returns how
+// many records were actually consumed. When src supports fast skipping and
+// the gap is longer than the warming horizon, the excess beyond the last
+// WarmHorizon records is skipped without decoding.
+func FastForward(src pipe.InstSource, warm *pipe.Warmer, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	var done uint64
+	if sk, ok := src.(Skipper); ok && n > WarmHorizon {
+		done = sk.Skip(n - WarmHorizon)
+	}
+	var buf [512]emu.Trace
+	filler, _ := src.(pipe.Filler)
+	for done < n {
+		want := n - done
+		if filler != nil {
+			b := buf[:]
+			if uint64(len(b)) > want {
+				b = b[:want]
+			}
+			m := filler.Fill(b)
+			if m == 0 {
+				break
+			}
+			for i := range b[:m] {
+				warm.Observe(b[i])
+			}
+			done += uint64(m)
+		} else {
+			tr, ok := src.Next()
+			if !ok {
+				break
+			}
+			warm.Observe(tr)
+			done++
+		}
+	}
+	return done
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is active; allocation and
+// scale tests skip under it (instrumentation changes both heap behavior
+// and throughput).
+const raceEnabled = false

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"flywheel/internal/cacti"
+)
+
+// sampledCfg is the shared scenario: long enough that the default schedule
+// collects a healthy number of windows.
+func sampledCfg(arch Arch) RunConfig {
+	return RunConfig{
+		Workload: "ijpeg", Arch: arch, Node: cacti.Node130,
+		FEBoostPct: 50, BEBoostPct: 50, MaxInstructions: 300_000,
+	}
+}
+
+func TestSampledRunEstimatesMatchExact(t *testing.T) {
+	for _, arch := range []Arch{ArchBaseline, ArchFlywheel, ArchRegAlloc} {
+		cfg := sampledCfg(arch)
+		exact, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v exact: %v", arch, err)
+		}
+		cfg.Sampling = Sampling{Period: 60_000, WindowInsts: 6_000, WarmupInsts: 2_000, Seed: 1}
+		sampled, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v sampled: %v", arch, err)
+		}
+		if sampled.Sampled == nil {
+			t.Fatalf("%v: sampled run missing SampledStats", arch)
+		}
+		st := sampled.Sampled
+		if st.Windows < 3 {
+			t.Errorf("%v: only %d windows", arch, st.Windows)
+		}
+		if st.MeasuredInsts >= sampled.Retired/2 {
+			t.Errorf("%v: measured %d of %d instructions — sampling barely skipped anything",
+				arch, st.MeasuredInsts, sampled.Retired)
+		}
+		if st.SkippedInsts == 0 {
+			t.Errorf("%v: no instructions were fast-forwarded", arch)
+		}
+		if sampled.Retired != exact.Retired {
+			t.Errorf("%v: sampled covered %d instructions, exact retired %d", arch, sampled.Retired, exact.Retired)
+		}
+		ipcErr := math.Abs(sampled.IPC/exact.IPC - 1)
+		if ipcErr > 0.05 {
+			t.Errorf("%v: sampled IPC %.4f vs exact %.4f (%.1f%% error)", arch, sampled.IPC, exact.IPC, 100*ipcErr)
+		}
+		energyErr := math.Abs(sampled.EnergyPJ/exact.EnergyPJ - 1)
+		if energyErr > 0.08 {
+			t.Errorf("%v: sampled energy %.0f vs exact %.0f (%.1f%% error)", arch, sampled.EnergyPJ, exact.EnergyPJ, 100*energyErr)
+		}
+		if exact.Sampled != nil {
+			t.Errorf("%v: exact run unexpectedly carries SampledStats", arch)
+		}
+	}
+}
+
+// TestSampledDeterministic: same config, same estimates — the schedule is
+// seeded and the replay is canonical.
+func TestSampledDeterministic(t *testing.T) {
+	cfg := sampledCfg(ArchFlywheel)
+	cfg.Sampling = Sampling{Period: 25_000}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC != b.IPC || a.EnergyPJ != b.EnergyPJ || a.TimePS != b.TimePS {
+		t.Fatalf("sampled runs differ: IPC %v vs %v, energy %v vs %v", a.IPC, b.IPC, a.EnergyPJ, b.EnergyPJ)
+	}
+	if *a.Sampled != *b.Sampled {
+		t.Fatalf("sampled stats differ: %+v vs %+v", a.Sampled, b.Sampled)
+	}
+}
+
+// TestSampledSeedMovesWindows: a different seed shifts the window phase,
+// which must change the measured set (while staying a valid estimate).
+func TestSampledSeedMovesWindows(t *testing.T) {
+	cfg := sampledCfg(ArchFlywheel)
+	cfg.Sampling = Sampling{Period: 25_000, Seed: 1}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sampling.Seed = 99
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles == b.Cycles && a.TimePS == b.TimePS && a.EnergyPJ == b.EnergyPJ {
+		t.Fatal("different sampling seeds produced identical raw measurements")
+	}
+}
+
+// TestSampledValidation: schedules whose window span cannot fit the period
+// are rejected up front.
+func TestSampledValidation(t *testing.T) {
+	cfg := sampledCfg(ArchBaseline)
+	cfg.Sampling = Sampling{Period: 1_000, WindowInsts: 2_000, WarmupInsts: 500}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("span >= period was accepted")
+	}
+}
+
+// TestSampledFrontendObservablesUnpolluted is the warming-pollution
+// regression: frontend observables (prefetch effectiveness, demand L2 hit
+// rate, branch volumes) must be computed over measurement windows only.
+// If fast-forward warming leaked into them, the extrapolated volume
+// counters would overshoot the exact run by roughly the inverse sampling
+// fraction (~10x here), because warming touches every instruction of the
+// stream while the windows cover a small fraction.
+func TestSampledFrontendObservablesUnpolluted(t *testing.T) {
+	// Volume counters are checked on the baseline core: every instruction
+	// runs the front-end there, so the extrapolated counts must land near
+	// the exact run's. (The Flywheel cores count branches only in
+	// trace-creation mode, a small and window-biased fraction — volume
+	// ratios are not meaningful for them.)
+	cfg := sampledCfg(ArchBaseline)
+	cfg.Prefetcher = "delta"
+	exact, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sampling = Sampling{Period: 30_000}
+	sampled, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRatio := func(name string, got, want uint64) {
+		t.Helper()
+		if want == 0 {
+			return
+		}
+		r := float64(got) / float64(want)
+		if r > 2 || r < 0.5 {
+			t.Errorf("%s: sampled %d vs exact %d (ratio %.2f) — warming pollution?", name, got, want, r)
+		}
+	}
+	checkRatio("CondBranches", sampled.CondBranches, exact.CondBranches)
+	checkRatio("Mispredicts", sampled.Mispredicts, exact.Mispredicts)
+	checkRatio("PrefetchIssued", sampled.PrefetchIssued, exact.PrefetchIssued)
+	checkRatio("PrefetchUseful", sampled.PrefetchUseful, exact.PrefetchUseful)
+	checkRates := func(arch Arch, sa, ex Result) {
+		t.Helper()
+		for name, pair := range map[string][2]float64{
+			"PrefetchAccuracy": {sa.PrefetchAccuracy, ex.PrefetchAccuracy},
+			"DemandL2HitRate":  {sa.DemandL2HitRate, ex.DemandL2HitRate},
+			"BranchAccuracy":   {sa.BranchAccuracy, ex.BranchAccuracy},
+		} {
+			if math.Abs(pair[0]-pair[1]) > 0.15 {
+				t.Errorf("%v %s: sampled %.3f vs exact %.3f", arch, name, pair[0], pair[1])
+			}
+		}
+	}
+	checkRates(ArchBaseline, sampled, exact)
+
+	// Rate observables must also hold on a Flywheel core, where they are
+	// computed over the (mostly replayed) measurement windows only.
+	fcfg := sampledCfg(ArchFlywheel)
+	fcfg.Prefetcher = "delta"
+	fexact, err := Run(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg.Sampling = Sampling{Period: 30_000}
+	fsampled, err := Run(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRates(ArchFlywheel, fsampled, fexact)
+}

@@ -72,6 +72,12 @@ type RunConfig struct {
 	// Figure 2 baseline variants.
 	ExtraFrontEndStages   int
 	PipelinedWakeupSelect bool
+
+	// Sampling, when enabled (Period > 0), runs the simulation in sampled
+	// mode: detailed windows at a systematic period over a fast-forwarded,
+	// functionally warmed replay, with confidence intervals across the
+	// windows in Result.Sampled. The zero value is exact execution.
+	Sampling Sampling
 }
 
 // normalizeFrontend canonicalizes the frontend selections ("" becomes the
@@ -125,9 +131,15 @@ type Result struct {
 	AvgDataCycles    float64
 	DemandL2HitRate  float64
 
-	// Full per-core statistics for detailed reporting.
+	// Full per-core statistics for detailed reporting. Nil for sampled
+	// runs: cumulative core counters mix warm-up and measurement intervals
+	// there, so only the window-delta aggregates above are meaningful.
 	Baseline *ooo.Stats
 	Flywheel *core.Stats
+
+	// Sampled is present only for sampled runs (RunConfig.Sampling
+	// enabled): window coverage and per-metric confidence intervals.
+	Sampled *SampledStats
 }
 
 // Speedup returns other's execution time divided by r's (how much faster r
@@ -155,9 +167,16 @@ func Run(cfg RunConfig) (Result, error) {
 	if err := cfg.normalizeFrontend(); err != nil {
 		return Result{}, err
 	}
+	cfg.Sampling = cfg.Sampling.Normalize()
+	if err := cfg.Sampling.Validate(); err != nil {
+		return Result{}, err
+	}
 	ws, err := workloadSnapshot(w)
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.Sampling.Enabled() {
+		return runSampled(cfg, w, ws)
 	}
 	// The instruction stream comes from the trace cache: the first run of a
 	// workload records the functional emulator's output while consuming it,
@@ -339,6 +358,9 @@ func RunSource(name, source string, cfg RunConfig) (Result, error) {
 	}
 	if err := cfg.normalizeFrontend(); err != nil {
 		return Result{}, err
+	}
+	if cfg.Sampling.Enabled() {
+		return Result{}, fmt.Errorf("sim: sampled execution needs the trace-cache path; RunSource is exact-only")
 	}
 	m := ws.machine()
 	limit := cfg.MaxInstructions
